@@ -1,0 +1,24 @@
+# Convenience targets; see README.md.
+
+.PHONY: install test bench experiments examples all
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.experiments all
+
+examples:
+	python examples/quickstart.py
+	python examples/node_size_tuning.py
+	python examples/ssd_concurrency.py
+	python examples/aging_range_queries.py
+	python examples/io_trace_analysis.py
+
+all: test bench experiments

@@ -1,0 +1,25 @@
+"""Extension: file-system aging vs range-scan bandwidth (paper Section 5).
+
+Checks the paper's claim that small-node B-trees age badly: once nodes are
+scattered, range scans at point-query-optimal node sizes lose an order of
+magnitude of bandwidth, while scan-optimal (large) nodes barely notice.
+"""
+
+from repro.experiments import exp_aging
+
+
+def bench_aging_range_scans(benchmark, show):
+    result = benchmark.pedantic(lambda: exp_aging.run(), rounds=1, iterations=1)
+    show(result.render())
+    slow = result.measured_slowdown
+    benchmark.extra_info["slowdown"] = [round(v, 1) for v in slow]
+
+    # Aging hurts monotonically less as nodes grow.
+    assert slow == sorted(slow, reverse=True)
+    # Small nodes: order-of-magnitude degradation.
+    assert slow[0] > 10
+    # Large nodes: mild degradation.
+    assert slow[-1] < 3
+    # The affine prediction brackets the measurement within ~2x everywhere.
+    for measured, predicted in zip(slow, result.predicted_slowdown):
+        assert predicted / 2.5 < measured < predicted * 2.5

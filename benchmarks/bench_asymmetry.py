@@ -1,0 +1,29 @@
+"""Extension: read/write cost asymmetry shifts the optimal fanout.
+
+Checks the Section 3 aside — expensive writes have algorithmic
+consequences: both the affine-model optimum and the measured-best Bε-tree
+fanout decrease monotonically as the device's write cost multiplier grows.
+"""
+
+from repro.experiments import exp_asymmetry
+
+
+def bench_asymmetric_write_costs(benchmark, show):
+    result = benchmark.pedantic(lambda: exp_asymmetry.run(), rounds=1, iterations=1)
+    show(result.render())
+    benchmark.extra_info["model_F"] = [round(f, 1) for f in result.model_optimal_fanout]
+    benchmark.extra_info["measured_F"] = result.measured_best_fanout
+
+    # The model optimum falls monotonically with the write multiplier.
+    model = result.model_optimal_fanout
+    assert all(a > b for a, b in zip(model, model[1:]))
+    # The measured optimum falls too (weakly — it is grid-quantized).
+    measured = result.measured_best_fanout
+    assert all(a >= b for a, b in zip(measured, measured[1:]))
+    assert measured[0] > measured[-1]
+    # At every multiplier, tiny fanouts (no query help) and huge fanouts
+    # (flush-write heavy) both lose to the middle.
+    for costs in result.measured_cost_ms:
+        best = min(costs.values())
+        assert costs[result.fanouts[0]] > 1.3 * best
+        assert costs[result.fanouts[-1]] > 1.05 * best

@@ -1,0 +1,25 @@
+"""Corollaries 6/7/11/12: optimal node sizes across the alpha grid.
+
+Checks that the numeric optimum tracks the closed form, sits below the
+half-bandwidth point, and that the Corollary 12 Bε-tree design's insert
+speedup grows like log(1/alpha).
+"""
+
+from repro.experiments import exp_optima
+
+
+def bench_corollary_optima(benchmark, show):
+    result = benchmark.pedantic(lambda: exp_optima.run(), rounds=1, iterations=1)
+    show(result.render())
+    benchmark.extra_info["speedups"] = [round(v, 2) for v in result.insert_speedup]
+
+    for i, alpha in enumerate(result.alphas):
+        # Corollary 6/7: optimum strictly below the half-bandwidth point.
+        assert result.numeric_btree[i] < 1.0 / alpha
+        # Closed form within a small constant factor of the numeric optimum.
+        ratio = result.numeric_btree[i] / result.closed_btree[i]
+        assert 0.5 < ratio < 3.0
+        # Corollary 11's per-level overhead is sub-constant.
+        assert result.query_overhead[i] < 1.0
+    # Corollary 12: speedup increases as alpha decreases (grid is decreasing).
+    assert result.insert_speedup == sorted(result.insert_speedup)

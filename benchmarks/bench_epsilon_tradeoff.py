@@ -1,0 +1,30 @@
+"""Extension: the insert/query tradeoff curve across the WOD design space.
+
+Checks the Section 6 framing: sweeping the Bε-tree's fanout from 2 (≈
+buffered repository tree) to the pivot capacity (≈ B-tree) trades insert
+cost monotonically against query cost, with the B-tree as the query-optimal
+endpoint and the small-fanout Bε-tree / LSM / COLA as the write-optimal
+end.
+"""
+
+from repro.experiments import exp_epsilon_tradeoff
+
+
+def bench_epsilon_tradeoff(benchmark, show):
+    result = benchmark.pedantic(lambda: exp_epsilon_tradeoff.run(), rounds=1, iterations=1)
+    show(result.render())
+    be = result.betree_points()
+    benchmark.extra_info["betree_insert_ms"] = [round(p.insert_ms, 3) for p in be]
+    benchmark.extra_info["betree_query_ms"] = [round(p.query_ms, 2) for p in be]
+
+    inserts = [p.insert_ms for p in be]
+    queries = [p.query_ms for p in be]
+    # Inserts get monotonically more expensive with fanout...
+    assert inserts == sorted(inserts)
+    # ...while queries improve substantially from the BRT end to F=16.
+    assert queries[0] > 1.5 * min(queries)
+    # Endpoint sanity: the B-tree is the best query structure measured...
+    by_label = {p.label: p for p in result.points}
+    assert by_label["btree 64KiB"].query_ms <= min(queries) * 1.1
+    # ...and costs orders of magnitude more per insert than the F=2 tree.
+    assert by_label["btree 64KiB"].insert_ms > 20 * inserts[0]

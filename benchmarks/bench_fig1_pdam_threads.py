@@ -1,0 +1,25 @@
+"""Figure 1: time to read per-thread data on each simulated SSD vs p.
+
+Regenerates the paper's thread-scaling series and checks the DAM-vs-PDAM
+claim: completion time is flat until ``p ~ P``, while the DAM predicts
+linear growth from ``p = 1`` (overestimating by ``~P`` at large ``p``).
+"""
+
+from repro.experiments import exp_pdam_validation
+
+
+def bench_fig1_pdam_thread_scaling(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: exp_pdam_validation.run(bytes_per_thread=8 << 20),
+        rounds=1,
+        iterations=1,
+    )
+    show(result.render())
+    for name, fit in result.fits.items():
+        benchmark.extra_info[f"P[{name}]"] = round(fit.parallelism, 2)
+        benchmark.extra_info[f"R2[{name}]"] = round(fit.r2, 4)
+        # Shape assertions: Figure 1's flat-then-linear curve.
+        times = result.times[name]
+        assert times[1] < 1.4 * times[0], f"{name}: no flat region"
+        assert times[-1] > 3 * times[0], f"{name}: never saturated"
+        assert result.dam_overestimate_factor(name) > 1.5, name

@@ -1,0 +1,25 @@
+"""Figure 2: B-tree ms/op vs node size on the simulated HDD.
+
+Checks the paper's shape: costs are flat up to an optimum well below the
+half-bandwidth point (the paper's BerkeleyDB optimum was 64 KiB), then
+grow roughly linearly with node size.
+"""
+
+from repro.experiments import exp_btree_nodesize
+from repro.experiments.devices import default_hdd
+
+
+def bench_fig2_btree_node_size(benchmark, show):
+    result = benchmark.pedantic(lambda: exp_btree_nodesize.run(), rounds=1, iterations=1)
+    show(result.render())
+    benchmark.extra_info["best_query_node"] = result.best_query_node
+    benchmark.extra_info["query_ms"] = [round(v, 2) for v in result.query_ms]
+
+    half_bw = default_hdd().geometry.half_bandwidth_bytes
+    assert result.best_query_node < half_bw, "optimum must be below half-bandwidth"
+    assert result.best_insert_node < half_bw
+    # Past the optimum the cost grows: the largest node is clearly worse.
+    assert result.query_ms[-1] > 1.7 * min(result.query_ms)
+    assert result.insert_ms[-1] > 1.7 * min(result.insert_ms)
+    # The affine overlay fits with a positive alpha (the black line).
+    assert result.query_fit is not None and result.query_fit.alpha > 0

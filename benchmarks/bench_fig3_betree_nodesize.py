@@ -1,0 +1,53 @@
+"""Figure 3: Bε-tree ms/op vs node size on the simulated HDD.
+
+Checks the paper's shape: the Bε-tree is much less sensitive to node size
+than the B-tree (Figure 2); its insert optimum sits at a much larger node
+than the B-tree's (the paper's TokuDB: queries ~512 KiB, inserts ~4 MiB).
+"""
+
+from repro.experiments import exp_betree_nodesize, exp_btree_nodesize
+
+
+def bench_fig3_betree_node_size(benchmark, show):
+    result = benchmark.pedantic(lambda: exp_betree_nodesize.run(), rounds=1, iterations=1)
+    show(result.render())
+    benchmark.extra_info["best_query_node"] = result.best_query_node
+    benchmark.extra_info["best_insert_node"] = result.best_insert_node
+    benchmark.extra_info["query_sensitivity"] = round(result.sensitivity("query"), 2)
+
+    # Queries vary mildly across a 64x node-size range.
+    assert result.sensitivity("query") < 3.0
+    # Inserts favour large nodes (the paper's 4 MiB optimum).
+    assert result.best_insert_node >= result.node_sizes[-2]
+    # Insert cost is orders of magnitude below query cost (write optimization).
+    assert max(result.insert_ms) < min(result.query_ms)
+
+
+def bench_fig2_vs_fig3_sensitivity(benchmark, show):
+    """The cross-figure claim: Bε-trees are flatter than B-trees."""
+
+    def both():
+        bt = exp_btree_nodesize.run(
+            node_sizes=(64 << 10, 256 << 10, 1 << 20),
+            n_entries=150_000,
+            cache_bytes=4 << 20,
+            n_queries=250,
+            n_inserts=250,
+        )
+        be = exp_betree_nodesize.run(
+            node_sizes=(64 << 10, 256 << 10, 1 << 20),
+            n_entries=150_000,
+            cache_bytes=4 << 20,
+            n_queries=250,
+            max_inserts=40_000,
+        )
+        return bt, be
+
+    bt, be = benchmark.pedantic(both, rounds=1, iterations=1)
+    show(bt.render())
+    show(be.render())
+    bt_sens = max(bt.query_ms) / min(bt.query_ms)
+    be_sens = max(be.query_ms) / min(be.query_ms)
+    benchmark.extra_info["btree_query_sensitivity"] = round(bt_sens, 2)
+    benchmark.extra_info["betree_query_sensitivity"] = round(be_sens, 2)
+    assert be_sens < bt_sens, "Bε-tree must be less node-size sensitive"

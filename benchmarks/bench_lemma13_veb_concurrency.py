@@ -1,0 +1,25 @@
+"""Lemma 13 / Section 8: PDAM-adaptive B-tree layouts under concurrency.
+
+Checks the dominance claim: size-PB nodes in vEB layout achieve (near-)
+optimal throughput at *every* client count, while size-B nodes waste the
+device at k=1 and whole-node size-PB reads waste it at k=P.
+"""
+
+from repro.experiments import exp_pdam_concurrency
+
+
+def bench_lemma13_concurrent_queries(benchmark, show):
+    result = benchmark.pedantic(lambda: exp_pdam_concurrency.run(), rounds=1, iterations=1)
+    show(result.render())
+    thr = result.throughput
+    benchmark.extra_info["veb_throughput"] = [round(v, 3) for v in thr["veb_pb"]]
+
+    # veb within 85% of the best layout at every k (Lemma 13 dominance).
+    assert result.veb_dominates(slack=0.85)
+    # flat_b wastes parallelism at k=1: veb beats it clearly.
+    assert thr["veb_pb"][0] > 1.2 * thr["flat_b"][0]
+    # flat_pb cannot scale: at k=P it is far below both others.
+    k_p_index = result.clients.index(result.parallelism)
+    assert thr["flat_pb"][k_p_index] < 0.5 * thr["flat_b"][k_p_index]
+    # flat_b saturates at k=P (throughput stops growing past it).
+    assert thr["flat_b"][-1] < 1.2 * thr["flat_b"][k_p_index]

@@ -1,0 +1,22 @@
+"""Extension: LSM-tree SSTable-size sensitivity (the LevelDB 2 MiB question).
+
+Checks that, like the Bε-tree, the LSM is insensitive to its run size over
+a wide range — consistent with LevelDB shipping one 2 MiB default for all
+workloads (paper introduction).
+"""
+
+from repro.experiments import exp_lsm_nodesize
+
+
+def bench_lsm_sstable_size(benchmark, show):
+    result = benchmark.pedantic(lambda: exp_lsm_nodesize.run(), rounds=1, iterations=1)
+    show(result.render())
+    benchmark.extra_info["query_ms"] = [round(v, 2) for v in result.query_ms]
+    benchmark.extra_info["write_amp"] = [round(v, 1) for v in result.write_amp]
+
+    # Query cost is flat across a 16x run-size range.
+    assert max(result.query_ms) < 1.3 * min(result.query_ms)
+    # Inserts are write-optimized: far cheaper than queries at every size.
+    assert max(result.insert_ms) < min(result.query_ms)
+    # Compaction actually happened (write amp > 1 everywhere).
+    assert min(result.write_amp) > 1.0

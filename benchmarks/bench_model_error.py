@@ -1,0 +1,29 @@
+"""Extension: model predictability — affine vs DAM on the same workload.
+
+Checks the paper's headline quantitatively: on a B-tree query workload,
+the affine model predicts within the paper's 25% bound at every node size,
+while the Lemma 1 DAM stays within its factor-of-2 guarantee but swings
+from over- to under-prediction across the sweep (so it cannot rank node
+sizes).
+"""
+
+from repro.experiments import exp_model_error
+
+
+def bench_model_predictability(benchmark, show):
+    result = benchmark.pedantic(lambda: exp_model_error.run(), rounds=1, iterations=1)
+    show(result.render())
+    benchmark.extra_info["affine_err"] = [round(e, 3) for e in result.affine_errors]
+    benchmark.extra_info["dam_err"] = [round(e, 3) for e in result.dam_errors]
+
+    # Affine: within the paper's 25% error bound at every node size.
+    assert all(abs(e) < 0.25 for e in result.affine_errors)
+    # DAM: within Lemma 1's factor of 2 (error in (-50%, +100%] modulo
+    # measurement noise)...
+    assert all(-0.55 < e < 1.6 for e in result.dam_errors)
+    # ...but far less predictive than the affine model overall...
+    worst_affine = max(abs(e) for e in result.affine_errors)
+    worst_dam = max(abs(e) for e in result.dam_errors)
+    assert worst_dam > 4 * worst_affine
+    # ...and its error changes sign across the sweep: it cannot rank sizes.
+    assert min(result.dam_errors) < 0 < max(result.dam_errors)

@@ -1,0 +1,27 @@
+"""Table 1: segmented-linear-regression PDAM fits for the SSD zoo.
+
+Checks the paper's quantitative claims: R^2 within a fraction of a percent
+of 1, fitted P in the commodity-SSD range (paper: 2.9-5.5), and saturation
+throughput matching the device's configured ``∝PB``.
+"""
+
+from repro.experiments import exp_pdam_validation
+from repro.experiments.devices import SSD_ZOO
+
+
+def bench_table1_pdam_fits(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: exp_pdam_validation.run(bytes_per_thread=8 << 20),
+        rounds=1,
+        iterations=1,
+    )
+    show(result.render())
+    for name, fit in result.fits.items():
+        benchmark.extra_info[f"P[{name}]"] = round(fit.parallelism, 2)
+        assert fit.r2 > 0.99, f"{name}: R^2 {fit.r2}"
+        assert 1.5 < fit.parallelism < 12, f"{name}: P {fit.parallelism}"
+        target = SSD_ZOO[name].saturated_read_bytes_per_second
+        assert abs(fit.saturation_bytes_per_second - target) / target < 0.15, name
+    # Device ordering by parallelism matches the configured geometry.
+    fitted = {n: f.parallelism for n, f in result.fits.items()}
+    assert fitted["silicon-power-s55-sim"] < fitted["samsung-970-pro-sim"]

@@ -1,0 +1,25 @@
+"""Table 2: affine fits (s, t, alpha) for the HDD zoo.
+
+Checks the paper's claims: R^2 "within 0.1% of 1" for the linear fit of IO
+time vs size, recovered bandwidth matching the configured hardware, and
+alpha values in the commodity-HDD range (paper: 0.0012-0.0031 per 4 KiB).
+"""
+
+from repro.experiments import exp_affine_validation
+
+
+def bench_table2_affine_fits(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: exp_affine_validation.run(),
+        rounds=1,
+        iterations=1,
+    )
+    show(result.render())
+    for name, fit in result.fits.items():
+        benchmark.extra_info[f"alpha[{name}]"] = round(fit.alpha, 5)
+        benchmark.extra_info[f"R2[{name}]"] = round(fit.r2, 5)
+        s_true, t4k_true = result.truth[name]
+        assert fit.r2 > 0.999, f"{name}: R^2 {fit.r2}"
+        assert abs(fit.seconds_per_byte * 4096 - t4k_true) / t4k_true < 0.05, name
+        assert abs(fit.setup_seconds - s_true) / s_true < 0.25, name
+        assert 0.0005 < fit.alpha < 0.01, f"{name}: alpha {fit.alpha}"

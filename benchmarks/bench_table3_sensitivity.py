@@ -1,0 +1,23 @@
+"""Table 3: analytic node-size sensitivity of B-trees vs Bε-trees.
+
+Checks the paper's comparison: "The cost for inserts and queries increases
+more slowly in Bε-trees than in B-trees as the node size increases."
+"""
+
+from repro.experiments import exp_sensitivity
+
+
+def bench_table3_sensitivity(benchmark, show):
+    result = benchmark.pedantic(lambda: exp_sensitivity.run(), rounds=1, iterations=1)
+    show(result.render())
+    bt_sens = result.sensitivity(result.btree)
+    bq_sens = result.sensitivity(result.betree_query)
+    bi_sens = result.sensitivity(result.betree_insert)
+    benchmark.extra_info["btree_sensitivity"] = round(bt_sens, 1)
+    benchmark.extra_info["betree_query_sensitivity"] = round(bq_sens, 1)
+    # B-trees are far more sensitive to node size than Bε-tree queries.
+    assert bt_sens > 3 * bq_sens
+    # And the Bε-tree's optimal node is at least as large as the B-tree's.
+    assert result.optimum_entries(result.betree_query) >= result.optimum_entries(result.btree)
+    assert result.optimum_entries(result.betree_insert) >= result.optimum_entries(result.btree)
+    del bi_sens

@@ -1,0 +1,23 @@
+"""Theorem 9 ablation: per-child segments and pivots-in-parent.
+
+Checks that each optimization step reduces query cost and that the full
+Theorem 9 tree achieves a material speedup over naive whole-node IOs —
+the ``1 + a(B/F + F)`` vs ``1 + aB`` per-level difference.
+"""
+
+from repro.experiments import exp_optimizations
+
+
+def bench_theorem9_ablation(benchmark, show):
+    result = benchmark.pedantic(lambda: exp_optimizations.run(), rounds=1, iterations=1)
+    show(result.render())
+    benchmark.extra_info["query_ms"] = {k: round(v, 2) for k, v in result.query_ms.items()}
+    benchmark.extra_info["query_speedup"] = round(result.query_speedup, 2)
+
+    q = result.query_ms
+    assert q["segments"] < q["naive"], "partial reads must beat whole-node reads"
+    assert q["theorem9"] <= q["segments"], "pivots-in-parent must not hurt"
+    assert result.query_speedup > 1.5
+    # Inserts move whole nodes in every variant: within an order of magnitude.
+    ins = result.insert_ms
+    assert max(ins.values()) < 20 * max(min(ins.values()), 1e-6)

@@ -1,0 +1,22 @@
+"""Lemma 3 / Theorem 4(4): write amplification of B-trees vs Bε-trees.
+
+Checks that B-tree write amplification grows ~linearly with the node size
+while the Bε-tree's stays roughly flat — the paper's second explanation
+for why production B-trees use small nodes.
+"""
+
+from repro.experiments import exp_write_amp
+
+
+def bench_write_amplification(benchmark, show):
+    result = benchmark.pedantic(lambda: exp_write_amp.run(), rounds=1, iterations=1)
+    show(result.render())
+    benchmark.extra_info["btree_amp"] = [round(v, 1) for v in result.btree]
+    benchmark.extra_info["betree_amp"] = [round(v, 1) for v in result.betree]
+
+    # B-tree: linear growth — 64x node size buys >= ~20x amplification.
+    assert result.btree[-1] > 20 * result.btree[0]
+    # Bε-tree: ~flat (within a small factor across the whole sweep).
+    assert max(result.betree) < 10 * min(result.betree)
+    # And the Bε-tree wins by a widening margin at large nodes.
+    assert result.betree[-1] < result.btree[-1] / 100

@@ -1,0 +1,29 @@
+"""Extension: YCSB-style workload mixes across the dictionary zoo.
+
+Checks the Section 5 OLTP/OLAP claim on one table: the B-tree only wins
+when reads (or scans) dominate; write-optimized structures win every
+update-heavy mix, and Bε upsert messages make read-modify-write nearly
+free.
+"""
+
+from repro.experiments import exp_ycsb
+
+
+def bench_ycsb_mixes(benchmark, show):
+    result = benchmark.pedantic(lambda: exp_ycsb.run(), rounds=1, iterations=1)
+    show(result.render())
+    benchmark.extra_info["winners"] = {
+        wl: result.winner(wl) for wl in result.cost_ms
+    }
+
+    # Update-heavy: a write-optimized structure wins.
+    assert result.winner("A (50r/50u)") in ("betree", "lsm")
+    # Read-only: the B-tree wins.
+    assert result.winner("C (100r)") == "btree"
+    # RMW: the Bε-tree's blind upserts beat read-modify-write by a mile.
+    f = result.cost_ms["F (100 rmw)"]
+    assert f["betree"] < f["btree"] / 20
+    assert f["betree"] < f["lsm"] / 20
+    # The B-tree's update-heavy penalty vs its read-only cost is large.
+    a = result.cost_ms["A (50r/50u)"]
+    assert a["btree"] > 2 * min(a.values())

@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one of the paper's tables/figures on the simulated
+substrate and prints the rendered result (run pytest with ``-s`` to see the
+tables inline; they are also attached to each benchmark's ``extra_info``).
+
+Wall-clock time measured by pytest-benchmark is the *simulation* cost, not
+the metric of interest — the paper's quantities are simulated device
+seconds, which appear inside the printed tables.  See DESIGN.md section 5.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a rendered experiment table around pytest's capture."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show

@@ -1,0 +1,66 @@
+"""File-system aging and range queries (paper Section 5).
+
+    "the optimal node size x is not large enough to amortize the setup
+    cost.  This means that as B-trees age, their nodes get spread out
+    across disk, and range-query performance degrades."
+
+This example measures that effect directly: the same B-tree, same data,
+same device — but one instance allocates nodes first-fit (a fresh file
+system, nearly sequential layout) and the other with the ``random``
+allocator policy (an aged file system).  Range scans pay a seek per node
+when nodes are scattered; larger nodes amortize it.
+
+Run:  python examples/aging_range_queries.py
+"""
+
+from repro.experiments.devices import default_hdd
+from repro.storage.stack import StorageStack
+from repro.trees.btree import BTree, BTreeConfig
+from repro.workloads.generators import random_load_pairs, range_query_stream
+
+
+def build(policy: str, node_bytes: int, pairs):
+    device = default_hdd(seed=7)
+    stack = StorageStack(device, cache_bytes=4 << 20,
+                         allocator_policy=policy, allocator_seed=13)
+    tree = BTree(stack, BTreeConfig(node_bytes=node_bytes))
+    tree.bulk_load(pairs)
+    stack.flush()
+    stack.drop_cache()
+    return tree, stack
+
+
+def scan_throughput(tree, stack, keys, span=2000, n_scans=20):
+    """MB/s of simulated range-scan bandwidth."""
+    t0 = stack.io_seconds
+    rows = 0
+    for lo, hi in range_query_stream(keys, n_scans, span_keys=span, seed=3):
+        rows += len(tree.range(lo, hi))
+    elapsed = stack.io_seconds - t0
+    mib = rows * tree.config.fmt.entry_bytes / 2**20
+    return mib / elapsed
+
+
+def main() -> None:
+    pairs = random_load_pairs(200_000, 1 << 31, seed=1)
+    keys = [k for k, _ in pairs]
+    disk_bw = default_hdd().geometry.bandwidth_bytes_per_second / 2**20
+
+    print(f"Device sequential bandwidth: {disk_bw:.0f} MiB/s\n")
+    print(f"  {'node size':>10s}  {'fresh (MiB/s)':>14s}  {'aged (MiB/s)':>13s}  {'aging slowdown':>14s}")
+    for node_bytes in (16 << 10, 64 << 10, 256 << 10, 1 << 20):
+        fresh_tree, fresh_stack = build("first_fit", node_bytes, pairs)
+        aged_tree, aged_stack = build("random", node_bytes, pairs)
+        fresh = scan_throughput(fresh_tree, fresh_stack, keys)
+        aged = scan_throughput(aged_tree, aged_stack, keys)
+        print(f"  {node_bytes >> 10:>8d}Ki  {fresh:>14.1f}  {aged:>13.1f}  {fresh / aged:>13.1f}x")
+
+    print(
+        "\nSmall nodes under-utilize disk bandwidth once scattered — the"
+        "\npaper's explanation for why range-query-focused (OLAP) systems"
+        "\nuse ~1 MB nodes while OLTP B-trees stay at 16 KiB and age badly."
+    )
+
+
+if __name__ == "__main__":
+    main()

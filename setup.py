@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP-517
+editable installs (``pip install -e .`` with a ``[build-system]`` table)
+fail with ``invalid command 'bdist_wheel'``.  This shim lets pip use the
+legacy ``setup.py develop`` path instead; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

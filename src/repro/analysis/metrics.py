@@ -1,0 +1,63 @@
+"""Goodness-of-fit metrics.
+
+The paper reports ``R^2`` for every regression in Tables 1-2 ("all within
+0.1% of 1") and RMS error for the affine overlays in Figures 2-3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FitError
+
+
+def _as_1d(a, name: str) -> np.ndarray:
+    arr = np.asarray(a, dtype=float)
+    if arr.ndim != 1:
+        raise FitError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise FitError(f"{name} must be non-empty")
+    return arr
+
+
+def r_squared(observed, predicted) -> float:
+    """Coefficient of determination ``1 - SS_res / SS_tot``.
+
+    Returns 1.0 exactly when the prediction is perfect.  If the observations
+    are constant (zero total variance), returns 1.0 for a perfect fit and
+    raises otherwise, since R² is undefined there.
+    """
+    y = _as_1d(observed, "observed")
+    f = _as_1d(predicted, "predicted")
+    if y.shape != f.shape:
+        raise FitError(f"shape mismatch: observed {y.shape} vs predicted {f.shape}")
+    ss_res = float(np.sum((y - f) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    if ss_tot == 0.0:
+        # Constant observations: R^2 is defined only for a (numerically)
+        # perfect prediction.
+        scale = float(np.sum(y**2)) + 1.0
+        if ss_res <= 1e-18 * scale:
+            return 1.0
+        raise FitError("R^2 undefined: observations are constant but residuals are not zero")
+    return 1.0 - ss_res / ss_tot
+
+
+def rms_error(observed, predicted) -> float:
+    """Root-mean-square error between observation and prediction."""
+    y = _as_1d(observed, "observed")
+    f = _as_1d(predicted, "predicted")
+    if y.shape != f.shape:
+        raise FitError(f"shape mismatch: observed {y.shape} vs predicted {f.shape}")
+    return float(np.sqrt(np.mean((y - f) ** 2)))
+
+
+def max_relative_error(observed, predicted) -> float:
+    """Largest ``|obs - pred| / obs`` — the paper's "within 14%" metric."""
+    y = _as_1d(observed, "observed")
+    f = _as_1d(predicted, "predicted")
+    if y.shape != f.shape:
+        raise FitError(f"shape mismatch: observed {y.shape} vs predicted {f.shape}")
+    if np.any(y == 0):
+        raise FitError("relative error undefined at zero observations")
+    return float(np.max(np.abs(y - f) / np.abs(y)))

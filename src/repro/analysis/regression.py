@@ -1,0 +1,159 @@
+"""Ordinary and segmented linear regression.
+
+Segmented linear regression is the tool the paper uses for Table 1:
+
+    "Segmented linear regression is appropriate for fitting data that is
+    known to follow different linear functions in different ranges.
+    Segmented linear regression outputs the boundaries between the
+    different regions and the parameters of the line of best fit within
+    each region."
+
+The implementation scans every candidate breakpoint between consecutive
+x-values, fits each side by OLS, and keeps the breakpoint with the smallest
+total squared error.  For the PDAM experiment the left segment is the flat
+(parallelism-hidden) region and the breakpoint's x-position estimates ``P``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.metrics import r_squared
+from repro.errors import FitError
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of a 1-D ordinary least squares fit ``y = slope*x + intercept``."""
+
+    slope: float
+    intercept: float
+    r2: float
+
+    def predict(self, x) -> np.ndarray:
+        """Evaluate the fitted line at ``x`` (scalar or array)."""
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+
+@dataclass(frozen=True)
+class SegmentedFit:
+    """Result of a two-segment piecewise-linear fit.
+
+    Attributes
+    ----------
+    breakpoint:
+        x-position separating the two regimes (midpoint between the last
+        left sample and the first right sample).
+    left, right:
+        Per-segment :class:`LinearFit` objects.
+    r2:
+        Overall coefficient of determination across both segments.
+    """
+
+    breakpoint: float
+    left: LinearFit
+    right: LinearFit
+    r2: float
+
+    def predict(self, x) -> np.ndarray | float:
+        """Evaluate the piecewise fit at ``x`` (scalar or array)."""
+        xs = np.asarray(x, dtype=float)
+        scalar = xs.ndim == 0
+        xs = np.atleast_1d(xs)
+        out = np.where(xs <= self.breakpoint, self.left.predict(xs), self.right.predict(xs))
+        return float(out[0]) if scalar else out
+
+
+def _validate_xy(x, y) -> tuple[np.ndarray, np.ndarray]:
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.ndim != 1 or ys.ndim != 1:
+        raise FitError("x and y must be 1-dimensional")
+    if xs.shape != ys.shape:
+        raise FitError(f"x and y must have the same length, got {xs.shape} vs {ys.shape}")
+    if xs.size < 2:
+        raise FitError(f"need at least 2 points, got {xs.size}")
+    return xs, ys
+
+
+def linear_fit(x, y) -> LinearFit:
+    """OLS fit of ``y = slope*x + intercept``.
+
+    Degenerate inputs (all-equal x) raise :class:`~repro.errors.FitError`.
+    """
+    xs, ys = _validate_xy(x, y)
+    if np.ptp(xs) == 0:
+        raise FitError("cannot fit a line through points with constant x")
+    design = np.column_stack([xs, np.ones_like(xs)])
+    coeffs, *_ = np.linalg.lstsq(design, ys, rcond=None)
+    slope, intercept = float(coeffs[0]), float(coeffs[1])
+    fit = LinearFit(slope=slope, intercept=intercept, r2=0.0)
+    r2 = r_squared(ys, fit.predict(xs))
+    return LinearFit(slope=slope, intercept=intercept, r2=r2)
+
+
+def _segment_sse(xs: np.ndarray, ys: np.ndarray) -> tuple[LinearFit, float]:
+    """OLS fit of one segment plus its sum of squared errors.
+
+    A segment whose x-values are all equal is fit by a horizontal line at
+    the mean (slope 0), which is the right behaviour for a flat regime
+    sampled at a single x.
+    """
+    if np.ptp(xs) == 0:
+        mean = float(np.mean(ys))
+        fit = LinearFit(slope=0.0, intercept=mean, r2=1.0)
+        return fit, float(np.sum((ys - mean) ** 2))
+    fit = linear_fit(xs, ys)
+    resid = ys - fit.predict(xs)
+    return fit, float(np.sum(resid**2))
+
+
+def segmented_linear_fit(
+    x, y, *, min_points_per_segment: int = 2, flat_left: bool = False
+) -> SegmentedFit:
+    """Two-segment piecewise-linear fit with an exhaustive breakpoint scan.
+
+    Every split position leaving at least ``min_points_per_segment`` points
+    on each side is evaluated; the split minimizing total SSE wins.  Data is
+    sorted by x first; ties in x stay within one segment candidate boundary.
+
+    ``flat_left`` constrains the left segment to a horizontal line — the
+    PDAM's prediction for the below-saturation regime, which sharpens the
+    breakpoint (= parallelism) estimate when the transition is soft.
+    """
+    xs, ys = _validate_xy(x, y)
+    if xs.size < 2 * min_points_per_segment:
+        raise FitError(
+            f"need at least {2 * min_points_per_segment} points for a segmented fit, got {xs.size}"
+        )
+    order = np.argsort(xs, kind="stable")
+    xs, ys = xs[order], ys[order]
+
+    best: tuple[float, int, LinearFit, LinearFit] | None = None
+    for split in range(min_points_per_segment, xs.size - min_points_per_segment + 1):
+        # Do not split between equal x-values: the breakpoint would be ambiguous.
+        if xs[split - 1] == xs[split]:
+            continue
+        if flat_left:
+            mean = float(np.mean(ys[:split]))
+            left_fit = LinearFit(slope=0.0, intercept=mean, r2=1.0)
+            left_sse = float(np.sum((ys[:split] - mean) ** 2))
+        else:
+            left_fit, left_sse = _segment_sse(xs[:split], ys[:split])
+        right_fit, right_sse = _segment_sse(xs[split:], ys[split:])
+        sse = left_sse + right_sse
+        if best is None or sse < best[0]:
+            best = (sse, split, left_fit, right_fit)
+
+    if best is None:
+        raise FitError("no valid breakpoint (all x-values equal?)")
+
+    _, split, left_fit, right_fit = best
+    breakpoint = float((xs[split - 1] + xs[split]) / 2.0)
+    pred = np.where(
+        xs <= breakpoint, left_fit.predict(xs), right_fit.predict(xs)
+    )
+    overall_r2 = r_squared(ys, pred)
+    return SegmentedFit(breakpoint=breakpoint, left=left_fit, right=right_fit, r2=overall_r2)

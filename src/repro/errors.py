@@ -1,0 +1,47 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with invalid or inconsistent parameters."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-stack errors."""
+
+
+class OutOfSpaceError(StorageError):
+    """The extent allocator could not satisfy an allocation request."""
+
+
+class InvalidIOError(StorageError):
+    """An IO request was malformed (bad offset, zero length, out of range)."""
+
+
+class CacheError(StorageError):
+    """Buffer-cache invariant violation (e.g. unpinning an unpinned block)."""
+
+
+class TreeError(ReproError):
+    """Base class for dictionary (tree) errors."""
+
+
+class KeyOrderError(TreeError):
+    """Keys were supplied out of order where sorted order is required."""
+
+
+class NodeOverflowError(TreeError):
+    """A node exceeded its byte budget and could not be split."""
+
+
+class FitError(ReproError):
+    """A regression/fitting routine could not produce a valid fit."""

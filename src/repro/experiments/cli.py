@@ -1,0 +1,78 @@
+"""Command-line entry: ``python -m repro.experiments <experiment|all>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import (
+    exp_affine_validation,
+    exp_aging,
+    exp_asymmetry,
+    exp_betree_nodesize,
+    exp_btree_nodesize,
+    exp_epsilon_tradeoff,
+    exp_lsm_nodesize,
+    exp_model_error,
+    exp_optima,
+    exp_optimizations,
+    exp_pdam_concurrency,
+    exp_pdam_validation,
+    exp_sensitivity,
+    exp_write_amp,
+    exp_ycsb,
+)
+
+EXPERIMENTS: dict[str, Callable[[], object]] = {
+    "fig1": exp_pdam_validation.run,      # also produces table1
+    "table2": exp_affine_validation.run,
+    "table3": exp_sensitivity.run,
+    "fig2": exp_btree_nodesize.run,
+    "fig3": exp_betree_nodesize.run,
+    "lemma13": exp_pdam_concurrency.run,
+    "writeamp": exp_write_amp.run,
+    "theorem9": exp_optimizations.run,
+    "optima": exp_optima.run,
+    "lsm": exp_lsm_nodesize.run,
+    "epsilon": exp_epsilon_tradeoff.run,
+    "aging": exp_aging.run,
+    "asymmetry": exp_asymmetry.run,
+    "ycsb": exp_ycsb.run,
+    "modelerr": exp_model_error.run,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run one or all experiments; prints rendered tables to stdout."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures on simulated hardware.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="append an ASCII plot for experiments that have one",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.perf_counter()
+        result = EXPERIMENTS[name]()
+        wall = time.perf_counter() - t0
+        print(result.render())
+        if args.plot and hasattr(result, "render_plot"):
+            print()
+            print(result.render_plot())
+        print(f"\n[{name}: {wall:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Shared measurement harness for the node-size experiments (Figures 2-3).
+
+Protocol per tree instance:
+
+1. **Load**: bulk-load ``n_entries`` random distinct keys (scaled down from
+   the paper's 16 GB; see DESIGN.md section 5).
+2. **Cool down**: write back and drop the cache so measurement starts from
+   a defined state.
+3. **Warm up**: run some unmeasured queries so the hot internal levels
+   re-enter the cache (the paper's runs are warm: ops follow the load).
+4. **Measure**: random point queries, then random inserts; report
+   *simulated device seconds per operation*.  The insert phase ends with a
+   cache flush so dirty write-backs are charged inside the phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.workloads.generators import (
+    insert_stream,
+    point_query_stream,
+    random_load_pairs,
+)
+
+
+@dataclass(frozen=True)
+class OpTimes:
+    """Per-operation simulated times of one measured tree instance."""
+
+    query_seconds_per_op: float
+    insert_seconds_per_op: float
+    n_queries: int
+    n_inserts: int
+
+
+def measure_tree_ops(
+    tree,
+    loaded_keys: list[int],
+    universe: int,
+    *,
+    n_queries: int,
+    n_inserts: int,
+    warmup_queries: int = 200,
+    seed: int = 0,
+) -> OpTimes:
+    """Measure per-op simulated time for random queries then random inserts.
+
+    ``tree`` must expose ``get``/``insert`` and a ``storage`` stack (both
+    :class:`~repro.trees.btree.tree.BTree` and Bε variants do).
+    """
+    if n_queries <= 0 or n_inserts <= 0:
+        raise ConfigurationError("need positive op counts")
+    storage = tree.storage
+    storage.drop_cache()
+
+    for key in point_query_stream(loaded_keys, warmup_queries, seed=seed + 1):
+        tree.get(key)
+
+    t0 = storage.io_seconds
+    for key in point_query_stream(loaded_keys, n_queries, seed=seed + 2):
+        tree.get(key)
+    query_per_op = (storage.io_seconds - t0) / n_queries
+
+    t0 = storage.io_seconds
+    for key, value in insert_stream(universe, n_inserts, seed=seed + 3):
+        tree.insert(key, value)
+    storage.flush()
+    insert_per_op = (storage.io_seconds - t0) / n_inserts
+
+    return OpTimes(
+        query_seconds_per_op=query_per_op,
+        insert_seconds_per_op=insert_per_op,
+        n_queries=n_queries,
+        n_inserts=n_inserts,
+    )
+
+
+def build_load(n_entries: int, universe: int, seed: int = 0):
+    """Load pairs plus the key list used to draw queries."""
+    pairs = random_load_pairs(n_entries, universe, seed=seed)
+    return pairs, [k for k, _ in pairs]

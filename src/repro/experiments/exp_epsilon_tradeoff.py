@@ -1,0 +1,169 @@
+"""E12 (extension) — the insert/query tradeoff across the WOD design space.
+
+Section 6 of the paper frames the Bε-tree's tuning knob:
+
+    "Setting ε = 1 optimizes for point queries and the Bε-tree reduces to
+    a B-tree.  Setting ε = 0 optimizes for insertions/deletions, and the
+    Bε-tree reduce to a buffered repository tree. ... In the DAM model, a
+    Bε-tree (for 0 < ε < 1) performs inserts a factor of εB^{1-ε} faster
+    than a B-tree, but point queries run a factor of 1/ε times slower."
+
+This experiment traces that tradeoff curve *empirically* on the simulated
+HDD: one Bε-tree per fanout from 2 (≈ buffered repository tree) up to the
+node's pivot capacity (= B-tree), measuring amortized insert cost and
+point-query cost.  A B-tree, an LSM-tree, and a COLA are placed on the
+same axes for reference — the three write-optimized families the paper's
+introduction names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments import report
+from repro.experiments.common import build_load
+from repro.experiments.devices import default_hdd
+from repro.storage.stack import StorageStack
+from repro.trees.betree import BeTreeConfig, OptimizedBeTree
+from repro.trees.btree import BTree, BTreeConfig
+from repro.trees.cola import COLA, COLAConfig
+from repro.trees.lsm import LSMConfig, LSMTree
+from repro.workloads.generators import insert_stream, point_query_stream
+
+
+@dataclass
+class TradeoffPoint:
+    """One structure's (insert, query) cost pair."""
+
+    label: str
+    insert_ms: float
+    query_ms: float
+
+
+@dataclass
+class EpsilonTradeoffResult:
+    """The measured tradeoff curve."""
+
+    node_bytes: int
+    n_entries: int
+    cache_bytes: int
+    points: list[TradeoffPoint] = field(default_factory=list)
+
+    def render(self) -> str:
+        rows = [
+            [p.label, f"{p.insert_ms:.4f}", f"{p.query_ms:.3f}"]
+            for p in self.points
+        ]
+        return report.render_table(
+            f"Insert/query tradeoff across the WOD space "
+            f"(B={report.format_bytes(self.node_bytes)}, N={self.n_entries}, "
+            f"M={report.format_bytes(self.cache_bytes)})",
+            ["structure", "insert (ms/op)", "query (ms/op)"],
+            rows,
+            note=(
+                "Bε fanout sweeps ε from ~0 (buffered repository tree) to "
+                "~1 (B-tree): inserts get costlier, queries cheaper — the "
+                "Brodal-Fagerberg tradeoff the paper's Section 6 discusses."
+            ),
+        )
+
+    def betree_points(self) -> list[TradeoffPoint]:
+        """Just the Bε-tree fanout sweep, in fanout order."""
+        return [p for p in self.points if p.label.startswith("betree")]
+
+
+def _measure(tree, storage, keys, universe, n_queries, n_inserts, seed):
+    storage.drop_cache()
+    for k in point_query_stream(keys, 100, seed=seed + 1):
+        tree.get(k)
+    t0 = storage.io_seconds
+    for k in point_query_stream(keys, n_queries, seed=seed + 2):
+        tree.get(k)
+    query = (storage.io_seconds - t0) / n_queries
+    t0 = storage.io_seconds
+    for k, v in insert_stream(universe, n_inserts, seed=seed + 3):
+        tree.insert(k, v)
+    storage.flush()
+    insert = (storage.io_seconds - t0) / n_inserts
+    return insert * 1e3, query * 1e3
+
+
+def run(
+    *,
+    node_bytes: int = 256 << 10,
+    fanouts: tuple[int, ...] = (2, 4, 16, 64, 256),
+    n_entries: int = 150_000,
+    cache_bytes: int = 4 << 20,
+    universe: int = 1 << 31,
+    n_queries: int = 200,
+    seed: int = 0,
+) -> EpsilonTradeoffResult:
+    """Measure the tradeoff curve plus the three reference structures."""
+    pairs, keys = build_load(n_entries, universe, seed=seed)
+    result = EpsilonTradeoffResult(
+        node_bytes=node_bytes, n_entries=n_entries, cache_bytes=cache_bytes
+    )
+
+    for fanout in fanouts:
+        device = default_hdd(seed=seed)
+        storage = StorageStack(device, cache_bytes)
+        config = BeTreeConfig(node_bytes=node_bytes, fanout=fanout)
+        tree = OptimizedBeTree(storage, config)
+        tree.bulk_load(pairs)
+        buffer_msgs = max(1, config.buffer_budget_bytes // config.fmt.message_bytes)
+        for k, v in insert_stream(universe, buffer_msgs, seed=seed + 7):
+            tree.insert(k, v)
+        n_inserts = min(40_000, max(4000, 3 * buffer_msgs))
+        ins, qry = _measure(tree, storage, keys, universe, n_queries, n_inserts, seed)
+        result.points.append(TradeoffPoint(f"betree F={fanout}", ins, qry))
+
+    # B-tree reference (ε = 1 endpoint, at its own favourable node size).
+    device = default_hdd(seed=seed)
+    storage = StorageStack(device, cache_bytes)
+    btree = BTree(storage, BTreeConfig(node_bytes=64 << 10))
+    btree.bulk_load(pairs)
+    ins, qry = _measure(btree, storage, keys, universe, n_queries, 1000, seed)
+    result.points.append(TradeoffPoint("btree 64KiB", ins, qry))
+
+    # LSM reference.
+    device = default_hdd(seed=seed)
+    lsm = LSMTree(device, LSMConfig(l0_trigger=2))
+    for k, v in pairs:
+        lsm.insert(k, v)
+    lsm.flush_memtable()
+    t0 = device.stats.busy_seconds
+    for k in point_query_stream(keys, n_queries, seed=seed + 2):
+        lsm.get(k)
+    lsm_q = (device.stats.busy_seconds - t0) * 1e3 / n_queries
+    n_ins = 40_000
+    t0 = device.stats.busy_seconds
+    for k, v in insert_stream(universe, n_ins, seed=seed + 3):
+        lsm.insert(k, v)
+    lsm.flush_memtable()
+    lsm_i = (device.stats.busy_seconds - t0) * 1e3 / n_ins
+    result.points.append(TradeoffPoint("lsm 2MiB", lsm_i, lsm_q))
+
+    # COLA reference (no node-size knob at all).
+    device = default_hdd(seed=seed)
+    cola = COLA(device, COLAConfig(ram_bytes=cache_bytes))
+    for k, v in pairs:
+        cola.insert(k, v)
+    t0 = device.stats.busy_seconds
+    for k in point_query_stream(keys, n_queries, seed=seed + 2):
+        cola.get(k)
+    cola_q = (device.stats.busy_seconds - t0) * 1e3 / n_queries
+    t0 = device.stats.busy_seconds
+    for k, v in insert_stream(universe, n_ins, seed=seed + 3):
+        cola.insert(k, v)
+    cola_i = (device.stats.busy_seconds - t0) * 1e3 / n_ins
+    result.points.append(TradeoffPoint("cola", cola_i, cola_q))
+
+    return result
+
+
+def main() -> None:  # pragma: no cover - exercised via CLI test
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

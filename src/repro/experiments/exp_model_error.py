@@ -1,0 +1,140 @@
+"""E16 (extension) — predictability: affine vs DAM error on real workloads.
+
+The paper's headline: the refined models "yield a surprisingly large
+improvement in predictability without sacrificing ease of use", while the
+DAM with half-bandwidth blocks "approximates the IO cost on any hardware
+to within a factor of 2" (Lemma 1) — and is *blind* to node-size tuning.
+
+This experiment quantifies both statements at once.  For a B-tree
+point-query workload on the simulated HDD, at each node size we count the
+IOs actually issued and compare the measured simulated time against:
+
+* the **affine** prediction ``IOs * (s + t*B)`` — should track within a
+  few percent at every node size;
+* the **DAM** prediction ``IOs * 2s`` (every IO priced as one
+  half-bandwidth block, the Lemma 1 transform) — within a factor of 2, but
+  systematically off: over-predicting small nodes (which cost barely more
+  than ``s``) and under-predicting nodes beyond the half-bandwidth point.
+
+The DAM's error *changes sign across the sweep* — which is exactly why it
+cannot rank node sizes, the paper's Section 2 argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments import report
+from repro.experiments.common import build_load
+from repro.experiments.devices import default_hdd
+from repro.storage.stack import StorageStack
+from repro.trees.btree import BTree, BTreeConfig
+from repro.workloads.generators import point_query_stream
+
+DEFAULT_NODE_SIZES = (4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20)
+
+
+@dataclass
+class ModelErrorResult:
+    """Per-node-size measured time and per-model predictions."""
+
+    node_sizes: tuple[int, ...]
+    n_entries: int
+    setup_seconds: float
+    seconds_per_byte: float
+    measured_ms: list[float] = field(default_factory=list)
+    affine_ms: list[float] = field(default_factory=list)
+    dam_ms: list[float] = field(default_factory=list)
+
+    @staticmethod
+    def _err(measured: float, predicted: float) -> float:
+        return (predicted - measured) / measured
+
+    @property
+    def affine_errors(self) -> list[float]:
+        """Signed relative error of the affine prediction per node size."""
+        return [self._err(m, p) for m, p in zip(self.measured_ms, self.affine_ms)]
+
+    @property
+    def dam_errors(self) -> list[float]:
+        """Signed relative error of the DAM prediction per node size."""
+        return [self._err(m, p) for m, p in zip(self.measured_ms, self.dam_ms)]
+
+    def render(self) -> str:
+        rows = []
+        for i, b in enumerate(self.node_sizes):
+            rows.append(
+                [
+                    report.format_bytes(b),
+                    f"{self.measured_ms[i]:.3f}",
+                    f"{self.affine_ms[i]:.3f}",
+                    f"{self.affine_errors[i]:+.1%}",
+                    f"{self.dam_ms[i]:.3f}",
+                    f"{self.dam_errors[i]:+.1%}",
+                ]
+            )
+        return report.render_table(
+            f"Model predictability on a B-tree query workload "
+            f"(N={self.n_entries}, simulated HDD)",
+            ["node size", "measured ms/op", "affine ms/op", "err", "DAM ms/op", "err"],
+            rows,
+            note=(
+                "Predictions price the same measured IO count: affine at "
+                "s + t*B per IO, DAM at 2s per IO (Lemma 1's half-bandwidth "
+                "transform).  The affine error stays small and stable; the "
+                "DAM's swings from over- to under-prediction across the "
+                "sweep — it cannot rank node sizes."
+            ),
+        )
+
+
+def run(
+    *,
+    node_sizes: tuple[int, ...] = DEFAULT_NODE_SIZES,
+    n_entries: int = 200_000,
+    cache_bytes: int = 4 << 20,
+    universe: int = 1 << 31,
+    n_queries: int = 300,
+    seed: int = 0,
+) -> ModelErrorResult:
+    """Measure, then predict with both models from the same IO counts."""
+    pairs, keys = build_load(n_entries, universe, seed=seed)
+    geometry = default_hdd().geometry
+    s = geometry.mean_setup_seconds
+    t = geometry.seconds_per_byte
+    result = ModelErrorResult(
+        node_sizes=tuple(node_sizes),
+        n_entries=n_entries,
+        setup_seconds=s,
+        seconds_per_byte=t,
+    )
+    for node_bytes in node_sizes:
+        device = default_hdd(seed=seed + 1)
+        # Random extent placement spreads nodes over the whole disk, so the
+        # workload's seek-distance distribution matches the one the model
+        # parameter ``s`` (mean full-range setup) describes.  A fresh
+        # short-stroked tree would need a locally-fitted ``s`` instead.
+        stack = StorageStack(device, cache_bytes, allocator_policy="random")
+        tree = BTree(stack, BTreeConfig(node_bytes=node_bytes))
+        tree.bulk_load(pairs)
+        stack.drop_cache()
+        for k in point_query_stream(keys, 150, seed=seed + 2):  # warm internals
+            tree.get(k)
+        io0 = device.stats.ios
+        t0 = stack.io_seconds
+        for k in point_query_stream(keys, n_queries, seed=seed + 3):
+            tree.get(k)
+        ios = device.stats.ios - io0
+        measured = (stack.io_seconds - t0) / n_queries
+        result.measured_ms.append(measured * 1e3)
+        result.affine_ms.append(ios * (s + t * node_bytes) / n_queries * 1e3)
+        result.dam_ms.append(ios * 2 * s / n_queries * 1e3)
+    return result
+
+
+def main() -> None:  # pragma: no cover - exercised via CLI test
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

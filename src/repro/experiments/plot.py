@@ -1,0 +1,101 @@
+"""ASCII line plots for terminal rendering of the paper's figures.
+
+``python -m repro.experiments <fig> --plot`` appends one of these under
+the data table, so the flat-then-linear knee of Figure 1 or the V of
+Figure 2 is visible at a glance without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+_MARKERS = "ox+*#@%&"
+
+
+def _transform(values: Sequence[float], log: bool) -> list[float]:
+    if not log:
+        return [float(v) for v in values]
+    if any(v <= 0 for v in values):
+        raise ConfigurationError("log scale requires positive values")
+    return [math.log10(float(v)) for v in values]
+
+
+def ascii_plot(
+    title: str,
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more (x, y) series as an ASCII scatter/line chart.
+
+    Each series gets a marker from ``o x + * ...``; overlapping points show
+    the later series' marker.  Axes are annotated with the data ranges (in
+    original, pre-log units).
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    if len(series) > len(_MARKERS):
+        raise ConfigurationError(f"at most {len(_MARKERS)} series supported")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ConfigurationError(f"series {name!r} length does not match x")
+    if len(xs) < 2:
+        raise ConfigurationError("need at least 2 points")
+    if width < 16 or height < 4:
+        raise ConfigurationError("plot too small to be legible")
+
+    tx = _transform(xs, log_x)
+    all_y = [v for ys in series.values() for v in ys]
+    ty_min_raw, ty_max_raw = min(all_y), max(all_y)
+    ty_all = _transform([ty_min_raw, ty_max_raw], log_y)
+    x_min, x_max = min(tx), max(tx)
+    y_min, y_max = ty_all[0], ty_all[1]
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[si]
+        tys = _transform(ys, log_y)
+        for xv, yv in zip(tx, tys):
+            col = round((xv - x_min) / x_span * (width - 1))
+            row = round((yv - y_min) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = [title]
+    legend = "   ".join(
+        f"{_MARKERS[i]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    top_label = f"{ty_max_raw:.4g}"
+    bottom_label = f"{ty_min_raw:.4g}"
+    pad = max(len(top_label), len(bottom_label))
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = top_label.rjust(pad)
+        elif r == height - 1:
+            prefix = bottom_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * pad + " +" + "-" * width)
+    x_lo, x_hi = f"{min(xs):.4g}", f"{max(xs):.4g}"
+    gap = width - len(x_lo) - len(x_hi)
+    lines.append(" " * (pad + 2) + x_lo + " " * max(1, gap) + x_hi)
+    scale = []
+    if log_x:
+        scale.append("log x")
+    if log_y:
+        scale.append("log y")
+    suffix = f"  [{', '.join(scale)}]" if scale else ""
+    lines.append(" " * (pad + 2) + f"{x_label} vs {y_label}{suffix}")
+    return "\n".join(lines)

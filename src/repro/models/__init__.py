@@ -1,0 +1,36 @@
+"""Storage cost models: DAM, affine, and PDAM.
+
+This subpackage implements the three models the paper contrasts:
+
+* :class:`~repro.models.dam.DAMModel` — the classic Disk-Access Machine
+  [Aggarwal & Vitter 1988]: unit cost per size-``B`` block transfer.
+* :class:`~repro.models.affine.AffineModel` — an IO of ``x`` bytes costs
+  ``1 + alpha * x`` (setup-normalized); most predictive of hard disks.
+* :class:`~repro.models.pdam.PDAMModel` — up to ``P`` size-``B`` IOs are
+  served per time step; most predictive of SSDs/NVMe.
+
+:mod:`repro.models.analysis` contains the closed-form cost functions of the
+paper's Table 3 and the optimal-node-size corollaries; and
+:mod:`repro.models.conversions` contains the Lemma 1 affine<->DAM transfer
+results and the half-bandwidth point.
+"""
+
+from repro.models.base import CostModel
+from repro.models.dam import DAMModel
+from repro.models.affine import AffineModel
+from repro.models.pdam import PDAMModel
+from repro.models.conversions import (
+    half_bandwidth_point,
+    dam_cost_of_affine_algorithm,
+    affine_cost_of_dam_algorithm,
+)
+
+__all__ = [
+    "CostModel",
+    "DAMModel",
+    "AffineModel",
+    "PDAMModel",
+    "half_bandwidth_point",
+    "dam_cost_of_affine_algorithm",
+    "affine_cost_of_dam_algorithm",
+]

@@ -1,0 +1,65 @@
+"""The affine model (paper Definition 2) — most predictive of hard disks.
+
+IOs may have any size.  An IO of ``x`` bytes costs ``1 + alpha * x`` in
+normalized units, where the ``1`` is the setup (seek + rotation) cost and
+``alpha <= 1`` is the normalized bandwidth cost.  For a hard disk with seek
+time ``s`` seconds and transfer cost ``t`` seconds/byte, ``alpha = t / s``.
+
+The model's power comes from pricing *partial* and *variable-size* IOs:
+that is exactly what the DAM cannot do, and what drives the node-size
+results in the paper's Sections 5-6.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.models.base import CostModel
+
+
+class AffineModel(CostModel):
+    """Affine IO cost ``1 + alpha * nbytes`` (normalized units).
+
+    Parameters
+    ----------
+    alpha:
+        Normalized per-byte bandwidth cost (``t / s``).  Must be positive;
+        in practice ``alpha << 1`` when sizes are measured in bytes.
+    setup_seconds:
+        The seek/setup time ``s`` in seconds.  ``seconds(x)`` then equals
+        ``s + t*x`` with ``t = alpha * s``.
+    """
+
+    def __init__(self, alpha: float, setup_seconds: float = 1.0) -> None:
+        if alpha <= 0:
+            raise ConfigurationError(f"alpha must be positive, got {alpha}")
+        if setup_seconds <= 0:
+            raise ConfigurationError(f"setup_seconds must be positive, got {setup_seconds}")
+        self.alpha = float(alpha)
+        self.setup_seconds = float(setup_seconds)
+
+    @classmethod
+    def from_hardware(cls, seek_seconds: float, seconds_per_byte: float) -> "AffineModel":
+        """Build the model from measured hardware parameters ``s`` and ``t``.
+
+        This is the direction used when fitting Table 2: regression recovers
+        ``s`` (intercept) and ``t`` (slope), and ``alpha = t / s``.
+        """
+        if seek_seconds <= 0 or seconds_per_byte <= 0:
+            raise ConfigurationError("seek_seconds and seconds_per_byte must be positive")
+        return cls(alpha=seconds_per_byte / seek_seconds, setup_seconds=seek_seconds)
+
+    @property
+    def seconds_per_byte(self) -> float:
+        """The bandwidth cost ``t`` in seconds per byte."""
+        return self.alpha * self.setup_seconds
+
+    @property
+    def half_bandwidth_bytes(self) -> float:
+        """IO size where setup time equals transfer time: ``1 / alpha``."""
+        return 1.0 / self.alpha
+
+    def cost(self, nbytes: int) -> float:
+        """Normalized cost ``1 + alpha * nbytes`` of a single IO."""
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be non-negative, got {nbytes}")
+        return 1.0 + self.alpha * nbytes

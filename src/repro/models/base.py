@@ -1,0 +1,59 @@
+"""Abstract interface shared by the DAM, affine and PDAM cost models.
+
+A *cost model* assigns a cost to IOs.  Costs are reported in two unit
+systems:
+
+* **normalized cost** (:meth:`CostModel.cost`): the paper's convention, in
+  which one IO setup costs ``1``.  The affine model's ``1 + alpha*x`` and the
+  DAM's "count the blocks" are both normalized costs.
+* **seconds** (:meth:`CostModel.seconds`): wall-clock-style device time,
+  obtained by scaling normalized cost by the model's setup time.  The
+  microbenchmark experiments (Figures 1-3, Tables 1-2) report seconds so the
+  regression recovers the hardware parameters ``s`` and ``t`` directly.
+
+Models also price *batches* of concurrently-issued IOs
+(:meth:`CostModel.batch_seconds`); this is where the PDAM's parallelism
+shows up and where the serial models simply sum.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence
+
+
+class CostModel(ABC):
+    """Prices IOs in normalized cost units and in seconds.
+
+    Subclasses must define :meth:`cost` (normalized units) and
+    :attr:`setup_seconds` (the duration of one normalized cost unit).
+    """
+
+    #: Seconds corresponding to one normalized cost unit (the IO setup time).
+    setup_seconds: float = 1.0
+
+    @abstractmethod
+    def cost(self, nbytes: int) -> float:
+        """Normalized cost of a single IO of ``nbytes`` bytes."""
+
+    def seconds(self, nbytes: int) -> float:
+        """Device seconds consumed by a single IO of ``nbytes`` bytes."""
+        return self.cost(nbytes) * self.setup_seconds
+
+    def batch_cost(self, sizes: Sequence[int] | Iterable[int]) -> float:
+        """Normalized cost of a batch of IOs issued *concurrently*.
+
+        Serial models (DAM, affine) sum the per-IO costs; the PDAM
+        overrides this to account for its ``P`` parallel slots.
+        """
+        return float(sum(self.cost(n) for n in sizes))
+
+    def batch_seconds(self, sizes: Sequence[int] | Iterable[int]) -> float:
+        """Device seconds consumed by a concurrently-issued batch of IOs."""
+        return self.batch_cost(sizes) * self.setup_seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        params = ", ".join(
+            f"{k}={v!r}" for k, v in sorted(vars(self).items()) if not k.startswith("_")
+        )
+        return f"{type(self).__name__}({params})"

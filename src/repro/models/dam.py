@@ -1,0 +1,65 @@
+"""The Disk-Access Machine (DAM) model [Aggarwal & Vitter 1988].
+
+The DAM assumes the device transfers data in blocks of size ``B`` and that
+every block transfer costs exactly one unit, regardless of how much of the
+block is useful.  An IO of ``x`` bytes therefore costs ``ceil(x / B)``.
+
+The DAM deliberately ignores (a) the cheaper marginal cost of large
+sequential transfers on HDDs and (b) internal parallelism on SSDs.  The
+paper's point (its Lemma 1) is that with ``B`` set to the *half-bandwidth
+point* the DAM is within a factor of 2 of the affine model — close enough
+for asymptotics, too blunt for parameter tuning.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.models.base import CostModel
+
+
+class DAMModel(CostModel):
+    """Unit cost per size-``block_bytes`` block transfer.
+
+    Parameters
+    ----------
+    block_bytes:
+        The DAM block size ``B`` in bytes.
+    setup_seconds:
+        Seconds per block transfer (used to convert costs to seconds so DAM
+        predictions can be overlaid on affine/PDAM ones).  Defaults to 1.0.
+    """
+
+    def __init__(self, block_bytes: int, setup_seconds: float = 1.0) -> None:
+        if block_bytes <= 0:
+            raise ConfigurationError(f"block_bytes must be positive, got {block_bytes}")
+        if setup_seconds <= 0:
+            raise ConfigurationError(f"setup_seconds must be positive, got {setup_seconds}")
+        self.block_bytes = int(block_bytes)
+        self.setup_seconds = float(setup_seconds)
+
+    def blocks(self, nbytes: int) -> int:
+        """Number of size-``B`` blocks an IO of ``nbytes`` occupies."""
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be non-negative, got {nbytes}")
+        return max(1, math.ceil(nbytes / self.block_bytes)) if nbytes else 0
+
+    def cost(self, nbytes: int) -> float:
+        """DAM cost of one IO: the number of blocks it spans."""
+        return float(self.blocks(nbytes))
+
+    @classmethod
+    def at_half_bandwidth_point(
+        cls, setup_seconds: float, bandwidth_seconds_per_byte: float
+    ) -> "DAMModel":
+        """DAM with ``B`` at the half-bandwidth point ``s / t``.
+
+        At this block size an IO spends equal time in setup and in transfer,
+        which is the choice that makes the DAM 2-competitive with the affine
+        model (the paper's Lemma 1).  Each block then takes ``2 s`` seconds.
+        """
+        if setup_seconds <= 0 or bandwidth_seconds_per_byte <= 0:
+            raise ConfigurationError("setup and bandwidth costs must be positive")
+        block = max(1, round(setup_seconds / bandwidth_seconds_per_byte))
+        return cls(block_bytes=block, setup_seconds=2.0 * setup_seconds)

@@ -1,0 +1,261 @@
+"""Byte-budgeted LRU buffer cache with dirty write-back.
+
+This is the DAM's memory level: the cache holds up to ``M`` bytes of node
+data; everything else lives "on disk" and costs device time to touch.  The
+paper's analyses all assume "the top ``Theta(log M)`` levels can be cached";
+LRU achieves that automatically for tree workloads.
+
+The cache is also where *write amplification* physically happens: an
+insert dirties a whole node, and when the node is evicted the device writes
+the full node even though only a few bytes of user data changed (paper
+Lemma 3).
+
+Objects are arbitrary Python values; the cache tracks their device extent
+``(offset, nbytes)`` and charges the device on miss (read) and on dirty
+eviction (write).  Evicted objects are retained in a side "disk image" map
+— devices in this repository price IO time but do not store bytes (see
+:mod:`repro.storage.device`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.errors import CacheError, ConfigurationError
+from repro.storage.device import BlockDevice
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total cache lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 if none yet)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class _Entry:
+    __slots__ = ("obj", "offset", "nbytes", "dirty", "pins")
+
+    def __init__(self, obj: Any, offset: int, nbytes: int, dirty: bool) -> None:
+        self.obj = obj
+        self.offset = offset
+        self.nbytes = nbytes
+        self.dirty = dirty
+        self.pins = 0
+
+
+class BufferCache:
+    """LRU cache of node objects over a :class:`BlockDevice`.
+
+    Parameters
+    ----------
+    device:
+        Where misses and write-backs are charged.
+    capacity_bytes:
+        The memory budget ``M``.  At least one entry is always held even if
+        it alone exceeds the budget.
+    """
+
+    def __init__(self, device: BlockDevice, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ConfigurationError(f"cache capacity must be positive, got {capacity_bytes}")
+        self.device = device
+        self.capacity_bytes = int(capacity_bytes)
+        self.stats = CacheStats()
+        self._entries: OrderedDict[Hashable, _Entry] = OrderedDict()  # LRU order
+        self._disk: dict[Hashable, tuple[Any, int, int]] = {}  # evicted images
+        self.cached_bytes = 0
+        self.io_seconds = 0.0  # simulated device time charged through this cache
+
+    # -- internals -----------------------------------------------------------
+
+    def _evict_until_fits(self) -> None:
+        while self.cached_bytes > self.capacity_bytes and len(self._entries) > 1:
+            victim_id = next(
+                (k for k, e in self._entries.items() if e.pins == 0), None
+            )
+            if victim_id is None:
+                raise CacheError("cache over budget but every entry is pinned")
+            self._evict(victim_id)
+
+    def _evict(self, node_id: Hashable) -> None:
+        entry = self._entries.pop(node_id)
+        if entry.dirty:
+            self.io_seconds += self.device.write(entry.offset, entry.nbytes)
+            self.stats.dirty_evictions += 1
+        self.stats.evictions += 1
+        self.cached_bytes -= entry.nbytes
+        self._disk[node_id] = (entry.obj, entry.offset, entry.nbytes)
+
+    # -- public API ------------------------------------------------------------
+
+    def contains(self, node_id: Hashable) -> bool:
+        """True if ``node_id`` is currently resident (no LRU effect)."""
+        return node_id in self._entries
+
+    def get(self, node_id: Hashable) -> Any:
+        """Fetch a node, charging a device read on miss."""
+        entry = self._entries.get(node_id)
+        if entry is not None:
+            self.stats.hits += 1
+            self._entries.move_to_end(node_id)
+            return entry.obj
+        self.stats.misses += 1
+        try:
+            obj, offset, nbytes = self._disk.pop(node_id)
+        except KeyError:
+            raise CacheError(f"unknown node id {node_id!r}") from None
+        self.io_seconds += self.device.read(offset, nbytes)
+        self._entries[node_id] = _Entry(obj, offset, nbytes, dirty=False)
+        self.cached_bytes += nbytes
+        self._evict_until_fits()
+        return obj
+
+    def insert(
+        self, node_id: Hashable, obj: Any, offset: int, nbytes: int, *, dirty: bool = True
+    ) -> None:
+        """Add a brand-new node (e.g. from a split), resident and dirty."""
+        if node_id in self._entries or node_id in self._disk:
+            raise CacheError(f"node id {node_id!r} already exists")
+        if nbytes <= 0:
+            raise CacheError(f"node size must be positive, got {nbytes}")
+        self._entries[node_id] = _Entry(obj, offset, nbytes, dirty=dirty)
+        self.cached_bytes += nbytes
+        self._evict_until_fits()
+
+    def admit(
+        self,
+        node_id: Hashable,
+        obj: Any,
+        offset: int,
+        nbytes: int,
+        *,
+        dirty: bool,
+    ) -> None:
+        """Make a node resident *without charging a device read*.
+
+        Callers use this when they have charged the data movement
+        themselves (e.g. a batched multi-component IO).  Existing resident
+        entries are refreshed in place; entries on disk are brought back;
+        unknown ids are created.
+        """
+        if nbytes <= 0:
+            raise CacheError(f"node size must be positive, got {nbytes}")
+        entry = self._entries.get(node_id)
+        if entry is not None:
+            self.cached_bytes += nbytes - entry.nbytes
+            entry.obj = obj
+            entry.offset = offset
+            entry.nbytes = nbytes
+            entry.dirty = entry.dirty or dirty
+            self._entries.move_to_end(node_id)
+        else:
+            self._disk.pop(node_id, None)
+            self._entries[node_id] = _Entry(obj, offset, nbytes, dirty=dirty)
+            self.cached_bytes += nbytes
+        self._evict_until_fits()
+
+    def mark_dirty(self, node_id: Hashable) -> None:
+        """Record that a resident node's contents changed."""
+        entry = self._entries.get(node_id)
+        if entry is None:
+            raise CacheError(f"cannot dirty non-resident node {node_id!r}")
+        entry.dirty = True
+        self._entries.move_to_end(node_id)
+
+    def mark_clean(self, node_id: Hashable) -> None:
+        """Clear a resident node's dirty bit (caller wrote it back itself)."""
+        entry = self._entries.get(node_id)
+        if entry is None:
+            raise CacheError(f"cannot clean non-resident node {node_id!r}")
+        entry.dirty = False
+
+    def update_extent(self, node_id: Hashable, offset: int, nbytes: int) -> None:
+        """Change a resident node's device extent (after a realloc)."""
+        entry = self._entries.get(node_id)
+        if entry is None:
+            raise CacheError(f"cannot relocate non-resident node {node_id!r}")
+        if nbytes <= 0:
+            raise CacheError(f"node size must be positive, got {nbytes}")
+        self.cached_bytes += nbytes - entry.nbytes
+        entry.offset = offset
+        entry.nbytes = nbytes
+        entry.dirty = True
+        self._entries.move_to_end(node_id)
+        self._evict_until_fits()
+
+    def pin(self, node_id: Hashable) -> None:
+        """Prevent eviction of a resident node until unpinned."""
+        entry = self._entries.get(node_id)
+        if entry is None:
+            raise CacheError(f"cannot pin non-resident node {node_id!r}")
+        entry.pins += 1
+
+    def unpin(self, node_id: Hashable) -> None:
+        """Release one pin."""
+        entry = self._entries.get(node_id)
+        if entry is None or entry.pins == 0:
+            raise CacheError(f"unpin of unpinned node {node_id!r}")
+        entry.pins -= 1
+
+    def delete(self, node_id: Hashable) -> None:
+        """Drop a node entirely (after a merge frees it); no write-back."""
+        entry = self._entries.pop(node_id, None)
+        if entry is not None:
+            self.cached_bytes -= entry.nbytes
+            return
+        if self._disk.pop(node_id, None) is None:
+            raise CacheError(f"unknown node id {node_id!r}")
+
+    def extent_of(self, node_id: Hashable) -> tuple[int, int]:
+        """The ``(offset, nbytes)`` extent of a node, resident or not."""
+        entry = self._entries.get(node_id)
+        if entry is not None:
+            return entry.offset, entry.nbytes
+        try:
+            _, offset, nbytes = self._disk[node_id]
+        except KeyError:
+            raise CacheError(f"unknown node id {node_id!r}") from None
+        return offset, nbytes
+
+    def flush(self) -> float:
+        """Write back every dirty resident node; returns device seconds."""
+        spent = 0.0
+        for entry in self._entries.values():
+            if entry.dirty:
+                dt = self.device.write(entry.offset, entry.nbytes)
+                spent += dt
+                entry.dirty = False
+        self.io_seconds += spent
+        return spent
+
+    def drop_clean(self) -> None:
+        """Evict every unpinned resident node (dirty ones are written back).
+
+        Used between the load phase and the measured phase of experiments to
+        start from a cold cache.
+        """
+        for node_id in [k for k, e in self._entries.items() if e.pins == 0]:
+            self._evict(node_id)
+
+    def check_invariants(self) -> None:
+        """Assert byte accounting and id-disjointness (property tests)."""
+        assert self.cached_bytes == sum(e.nbytes for e in self._entries.values())
+        assert not (set(self._entries) & set(self._disk)), "id in both cache and disk"
+
+    def __len__(self) -> int:
+        return len(self._entries)

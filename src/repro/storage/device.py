@@ -1,0 +1,185 @@
+"""The block-device interface and IO accounting.
+
+All simulated devices implement :class:`BlockDevice`:
+
+* ``read(offset, nbytes)`` / ``write(offset, nbytes)`` return the number of
+  *simulated device seconds* the IO took and advance the device clock.
+  Simulated time is the experiment metric throughout this repository (see
+  DESIGN.md section 5) because the paper's models predict device time and
+  Python wall-clock time would measure the interpreter instead.
+* :class:`DeviceStats` counts IOs and bytes in each direction.  Write
+  amplification (paper Definition 3) is computed from these counters by
+  :meth:`DeviceStats.write_amplification` given the amount of user data
+  actually modified.
+
+Devices do not store data — the data structures keep their nodes in Python
+objects — they only account for the *time* data movement would take.  This
+is the standard simulator split and it is what lets a pure-Python build
+reproduce IO cost-model effects faithfully.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidIOError
+
+
+@dataclass(frozen=True)
+class IORecord:
+    """One completed IO, for tracing."""
+
+    kind: str            # "read" or "write"
+    offset: int
+    nbytes: int
+    start: float         # simulated issue time
+    end: float           # simulated completion time
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds the IO took."""
+        return self.end - self.start
+
+
+@dataclass
+class DeviceStats:
+    """IO and byte counters for one device."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_seconds: float = 0.0
+    write_seconds: float = 0.0
+
+    @property
+    def ios(self) -> int:
+        """Total IOs in both directions."""
+        return self.reads + self.writes
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes in both directions."""
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total simulated device time across reads and writes."""
+        return self.read_seconds + self.write_seconds
+
+    def write_amplification(self, user_bytes_modified: int) -> float:
+        """Paper Definition 3: device bytes written / user bytes modified."""
+        if user_bytes_modified <= 0:
+            raise InvalidIOError(
+                f"user_bytes_modified must be positive, got {user_bytes_modified}"
+            )
+        return self.bytes_written / user_bytes_modified
+
+    def snapshot(self) -> "DeviceStats":
+        """An independent copy (for before/after deltas)."""
+        return DeviceStats(**vars(self))
+
+    def delta(self, earlier: "DeviceStats") -> "DeviceStats":
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        return DeviceStats(
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+            read_seconds=self.read_seconds - earlier.read_seconds,
+            write_seconds=self.write_seconds - earlier.write_seconds,
+        )
+
+
+class BlockDevice(ABC):
+    """A device that prices IOs in simulated seconds.
+
+    Subclasses implement :meth:`_service_read` and :meth:`_service_write`
+    (pure timing); this base class validates requests, keeps the clock and
+    the counters, and optionally records a trace.
+    """
+
+    def __init__(self, capacity_bytes: int, *, trace: bool = False) -> None:
+        if capacity_bytes <= 0:
+            raise InvalidIOError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = int(capacity_bytes)
+        self.stats = DeviceStats()
+        self.clock = 0.0
+        self._trace_enabled = bool(trace)
+        self.trace: list[IORecord] = []
+
+    # -- subclass API ------------------------------------------------------
+
+    @abstractmethod
+    def _service_read(self, offset: int, nbytes: int, at: float) -> float:
+        """Completion time of a read issued at ``at``."""
+
+    @abstractmethod
+    def _service_write(self, offset: int, nbytes: int, at: float) -> float:
+        """Completion time of a write issued at ``at``."""
+
+    # -- public API --------------------------------------------------------
+
+    def _check(self, offset: int, nbytes: int) -> None:
+        if nbytes <= 0:
+            raise InvalidIOError(f"IO size must be positive, got {nbytes}")
+        if offset < 0:
+            raise InvalidIOError(f"offset must be non-negative, got {offset}")
+        if offset + nbytes > self.capacity_bytes:
+            raise InvalidIOError(
+                f"IO [{offset}, {offset + nbytes}) exceeds capacity {self.capacity_bytes}"
+            )
+
+    def read(self, offset: int, nbytes: int) -> float:
+        """Serially read ``nbytes`` at ``offset``; returns elapsed seconds."""
+        self._check(offset, nbytes)
+        start = self.clock
+        end = self._service_read(offset, nbytes, start)
+        elapsed = end - start
+        self.clock = end
+        self.stats.reads += 1
+        self.stats.bytes_read += nbytes
+        self.stats.read_seconds += elapsed
+        if self._trace_enabled:
+            self.trace.append(IORecord("read", offset, nbytes, start, end))
+        return elapsed
+
+    def write(self, offset: int, nbytes: int) -> float:
+        """Serially write ``nbytes`` at ``offset``; returns elapsed seconds."""
+        self._check(offset, nbytes)
+        start = self.clock
+        end = self._service_write(offset, nbytes, start)
+        elapsed = end - start
+        self.clock = end
+        self.stats.writes += 1
+        self.stats.bytes_written += nbytes
+        self.stats.write_seconds += elapsed
+        if self._trace_enabled:
+            self.trace.append(IORecord("write", offset, nbytes, start, end))
+        return elapsed
+
+    def reset(self) -> None:
+        """Zero the clock, counters and trace (fresh experiment)."""
+        self.stats = DeviceStats()
+        self.clock = 0.0
+        self.trace = []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(capacity={self.capacity_bytes})"
+
+
+@dataclass(frozen=True)
+class ReadRequest:
+    """A read request fed to a closed-loop parallel experiment."""
+
+    offset: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class WriteRequest:
+    """A write request fed to a closed-loop parallel experiment."""
+
+    offset: int
+    nbytes: int

@@ -1,0 +1,217 @@
+"""Simulated solid-state drive.
+
+Implements the internal-parallelism structure the PDAM abstracts (paper
+Section 2.2): flash packages are organized into *channels*, each with
+several *dies*; a die reads one page at a time, and the pages it produces
+must cross its channel's shared bus.  Parallelism comes from independent
+dies; *bank conflicts* happen when concurrent requests land on the same die
+and serialize — the paper's explanation for why the Figure 1 knee "is not
+perfectly sharp."
+
+Address mapping: the LBA space is divided into *stripe units* (default
+64 KiB, matching the request size of the paper's Figure 1 benchmark); unit
+``u`` lives entirely on die ``u mod D``.  A random stripe-aligned read
+therefore occupies exactly one die, and ``p`` concurrent clients engage
+``~min(p, D)`` dies — which is exactly the PDAM's flat-then-linear
+completion-time curve, with the effective ``P`` emerging from resource
+contention rather than being postulated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.storage.device import BlockDevice, ReadRequest, WriteRequest
+from repro.storage.engine import ClosedLoopRunner, ResourcePool
+
+
+@dataclass(frozen=True)
+class SSDGeometry:
+    """Layout and timing parameters of a simulated flash device.
+
+    Defaults approximate a commodity SATA SSD: 4 KiB pages, ~80 us page
+    reads, ~600 us page programs, and a channel bus that moves a page in
+    ~10 us.
+    """
+
+    capacity_bytes: int = 256 * 2**30
+    channels: int = 2
+    dies_per_channel: int = 2
+    page_bytes: int = 4096
+    stripe_bytes: int = 65536
+    page_read_seconds: float = 80e-6
+    page_program_seconds: float = 600e-6
+    channel_transfer_seconds: float = 10e-6  # per page, on the shared bus
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if self.channels <= 0 or self.dies_per_channel <= 0:
+            raise ConfigurationError("channels and dies_per_channel must be positive")
+        if self.page_bytes <= 0:
+            raise ConfigurationError("page_bytes must be positive")
+        if self.stripe_bytes < self.page_bytes or self.stripe_bytes % self.page_bytes:
+            raise ConfigurationError(
+                f"stripe_bytes ({self.stripe_bytes}) must be a multiple of "
+                f"page_bytes ({self.page_bytes})"
+            )
+        if min(
+            self.page_read_seconds,
+            self.page_program_seconds,
+            self.channel_transfer_seconds,
+        ) <= 0:
+            raise ConfigurationError("all timing parameters must be positive")
+
+    @property
+    def total_dies(self) -> int:
+        """Total independent flash dies — the device's raw parallelism."""
+        return self.channels * self.dies_per_channel
+
+    @property
+    def single_stream_read_seconds_per_stripe(self) -> float:
+        """Latency of one stripe-sized read on an idle device.
+
+        The die reads the stripe's pages back to back; the last page's bus
+        transfer trails the last read.
+        """
+        pages = self.stripe_bytes // self.page_bytes
+        return pages * self.page_read_seconds + self.channel_transfer_seconds
+
+    @property
+    def saturated_read_bytes_per_second(self) -> float:
+        """Aggregate read throughput with all dies busy.
+
+        Bounded by die read rate and by channel bus rate, whichever binds.
+        """
+        die_rate = self.total_dies * self.page_bytes / self.page_read_seconds
+        bus_rate = self.channels * self.page_bytes / self.channel_transfer_seconds
+        return min(die_rate, bus_rate)
+
+    @property
+    def expected_pdam_parallelism(self) -> float:
+        """The ``P`` the PDAM fit should recover: saturation / single-stream."""
+        single = self.stripe_bytes / self.single_stream_read_seconds_per_stripe
+        return self.saturated_read_bytes_per_second / single
+
+
+class SimulatedSSD(BlockDevice):
+    """Channel/die flash device with FIFO resource timelines.
+
+    The serial :meth:`~repro.storage.device.BlockDevice.read` /
+    :meth:`~repro.storage.device.BlockDevice.write` API routes through the
+    same resource model as the parallel closed-loop API, so tree workloads
+    and microbenchmarks see consistent timing.
+    """
+
+    def __init__(self, geometry: SSDGeometry | None = None, *, trace: bool = False) -> None:
+        self.geometry = geometry or SSDGeometry()
+        super().__init__(self.geometry.capacity_bytes, trace=trace)
+        g = self.geometry
+        self._dies = ResourcePool(g.total_dies)
+        self._channels = ResourcePool(g.channels)
+
+    # -- address mapping ----------------------------------------------------
+
+    def die_of_stripe(self, stripe_index: int) -> int:
+        """Die holding stripe unit ``stripe_index``."""
+        return stripe_index % self.geometry.total_dies
+
+    def channel_of_die(self, die: int) -> int:
+        """Channel whose bus serves ``die``."""
+        return die % self.geometry.channels
+
+    def _page_plan(self, offset: int, nbytes: int) -> list[tuple[int, int]]:
+        """Decompose an IO into per-die page counts, in address order.
+
+        Returns ``[(die, n_pages), ...]`` with one entry per stripe unit the
+        IO touches.
+        """
+        g = self.geometry
+        plan: list[tuple[int, int]] = []
+        pos = offset
+        end = offset + nbytes
+        while pos < end:
+            stripe = pos // g.stripe_bytes
+            stripe_end = (stripe + 1) * g.stripe_bytes
+            chunk = min(end, stripe_end) - pos
+            pages = math.ceil(chunk / g.page_bytes)
+            plan.append((self.die_of_stripe(stripe), pages))
+            pos += chunk
+        return plan
+
+    # -- timing -------------------------------------------------------------
+
+    def _read_completion(self, offset: int, nbytes: int, at: float) -> float:
+        g = self.geometry
+        done = at
+        for die_idx, pages in self._page_plan(offset, nbytes):
+            die = self._dies[die_idx]
+            channel = self._channels[self.channel_of_die(die_idx)]
+            arrival = at
+            for _ in range(pages):
+                read_end = die.acquire(arrival, g.page_read_seconds)
+                xfer_end = channel.acquire(read_end, g.channel_transfer_seconds)
+                arrival = read_end  # die proceeds to the next page immediately
+                done = max(done, xfer_end)
+        return done
+
+    def _write_completion(self, offset: int, nbytes: int, at: float) -> float:
+        g = self.geometry
+        done = at
+        for die_idx, pages in self._page_plan(offset, nbytes):
+            die = self._dies[die_idx]
+            channel = self._channels[self.channel_of_die(die_idx)]
+            arrival = at
+            for _ in range(pages):
+                xfer_end = channel.acquire(arrival, g.channel_transfer_seconds)
+                prog_end = die.acquire(xfer_end, g.page_program_seconds)
+                arrival = xfer_end  # bus frees up for the next page
+                done = max(done, prog_end)
+        return done
+
+    def _service_read(self, offset: int, nbytes: int, at: float) -> float:
+        return self._read_completion(offset, nbytes, at)
+
+    def _service_write(self, offset: int, nbytes: int, at: float) -> float:
+        return self._write_completion(offset, nbytes, at)
+
+    # -- parallel (closed-loop) API ------------------------------------------
+
+    def service_request(self, request: ReadRequest | WriteRequest, at: float) -> float:
+        """Service one request issued at ``at``; used by the parallel runner.
+
+        Counters are updated here too, so parallel experiments report the
+        same statistics as serial ones.
+        """
+        if not isinstance(request, (ReadRequest, WriteRequest)):
+            raise ConfigurationError(f"unknown request type: {type(request).__name__}")
+        self._check(request.offset, request.nbytes)
+        if isinstance(request, ReadRequest):
+            end = self._read_completion(request.offset, request.nbytes, at)
+            self.stats.reads += 1
+            self.stats.bytes_read += request.nbytes
+            self.stats.read_seconds += end - at
+        elif isinstance(request, WriteRequest):
+            end = self._write_completion(request.offset, request.nbytes, at)
+            self.stats.writes += 1
+            self.stats.bytes_written += request.nbytes
+            self.stats.write_seconds += end - at
+        self.clock = max(self.clock, end)
+        return end
+
+    def run_closed_loop(self, client_streams) -> float:
+        """Run concurrent closed-loop clients; returns the makespan.
+
+        This is the simulated analogue of the paper's "spawn p threads, each
+        reads 10 GiB" benchmark: each client keeps one request outstanding.
+        """
+        runner = ClosedLoopRunner(self.service_request)
+        return runner.run_makespan(client_streams)
+
+    def reset(self) -> None:
+        """Reset clock, counters and all die/channel timelines."""
+        super().reset()
+        self._dies.reset()
+        self._channels.reset()

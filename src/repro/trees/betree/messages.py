@@ -1,0 +1,60 @@
+"""Bε-tree messages.
+
+"Modifications to the dictionary are encoded as messages, such as an
+insertion or a so-called tombstone message for deletion" (paper Section 3).
+Messages carry a global sequence number so that, wherever they currently
+sit in the tree, their effects can be replayed in operation order.
+
+Upserts are modeled as additive deltas on integer values — enough to
+exercise the read-modify-write-free code path the paper's Table 3 mentions
+("inserts, deletes, and upserts") while keeping values comparable in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Any
+
+from repro.errors import TreeError
+
+
+class MessageOp(IntEnum):
+    """Message opcodes."""
+
+    INSERT = 0   # set key -> value
+    DELETE = 1   # tombstone: remove key
+    UPSERT = 2   # add delta to the current value (0 base if absent)
+
+
+@dataclass(frozen=True, order=True)
+class Message:
+    """One buffered mutation.  Ordered by sequence number."""
+
+    seq: int
+    op: MessageOp
+    key: int
+    value: Any = None
+
+
+def apply_messages(base: Any, present: bool, messages: list[Message]) -> tuple[Any, bool]:
+    """Replay ``messages`` (must be seq-sorted) over an optional base value.
+
+    Returns ``(value, present)`` after all messages.
+    """
+    value, exists = base, present
+    last_seq = None
+    for m in messages:
+        if last_seq is not None and m.seq < last_seq:
+            raise TreeError("messages must be applied in sequence order")
+        last_seq = m.seq
+        if m.op is MessageOp.INSERT:
+            value, exists = m.value, True
+        elif m.op is MessageOp.DELETE:
+            value, exists = None, False
+        elif m.op is MessageOp.UPSERT:
+            value = (value if exists else 0) + m.value
+            exists = True
+        else:  # pragma: no cover - IntEnum is closed
+            raise TreeError(f"unknown message op {m.op!r}")
+    return value, exists

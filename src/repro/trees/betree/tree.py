@@ -1,0 +1,529 @@
+"""The Bε-tree of Lemma 8: message buffers, whole-node IOs.
+
+Mutations enter the root as messages; when a node's buffer overflows, the
+node *flushes*: it moves all messages destined for the child with the most
+pending messages down one level (recursing if that child overflows in
+turn).  Queries read the root-to-leaf path and logically apply every
+relevant buffered message.
+
+The fanout ``F`` is the paper's tuning knob ``F = B^ε + 1``: ``F ~ B``
+degenerates to a B-tree, small constant ``F`` to a buffered repository
+tree; practical trees use 10-20 (TokuDB targets 16).
+
+All IOs move whole ``node_bytes`` extents — the naive cost model of
+Lemma 8.  The Theorem 9 refinements live in
+:class:`repro.trees.betree.optimized.OptimizedBeTree`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import ConfigurationError, TreeError
+from repro.storage.stack import StorageStack
+from repro.trees.betree.messages import Message, MessageOp, apply_messages
+from repro.trees.betree.node import BeNode, SegmentBuffer
+from repro.trees.sizing import EntryFormat
+
+
+@dataclass(frozen=True)
+class BeTreeConfig:
+    """Tuning of one Bε-tree instance.
+
+    Parameters
+    ----------
+    node_bytes:
+        Node size ``B`` in bytes (the Figure 3 sweep knob).
+    fanout:
+        Target fanout ``F``.  If ``None``, computed from ``epsilon`` as
+        ``F = ceil(leaf_entries ** epsilon)`` (clamped to at least 2).
+    epsilon:
+        The ε of Bε; only used when ``fanout`` is ``None``.
+    """
+
+    node_bytes: int = 1 << 20
+    fmt: EntryFormat = EntryFormat()
+    fanout: int | None = 16
+    epsilon: float = 0.5
+    bulk_fill: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ConfigurationError(f"epsilon must be in [0, 1], got {self.epsilon}")
+        if not 0.1 <= self.bulk_fill <= 1.0:
+            raise ConfigurationError(f"bulk_fill must be in [0.1, 1], got {self.bulk_fill}")
+        if self.fanout is not None and self.fanout < 2:
+            raise ConfigurationError(f"fanout must be >= 2, got {self.fanout}")
+        cap = self.fmt.leaf_capacity(self.node_bytes)  # validates node size
+        f = self.target_fanout
+        if self.fmt.internal_bytes(2 * f) > self.node_bytes:
+            raise ConfigurationError(
+                f"fanout {f} cannot fit in {self.node_bytes}-byte nodes"
+            )
+        del cap
+
+    @property
+    def leaf_capacity(self) -> int:
+        """Max entries per leaf."""
+        return self.fmt.leaf_capacity(self.node_bytes)
+
+    @property
+    def target_fanout(self) -> int:
+        """The fanout ``F``, from ``fanout`` or ``leaf_entries ** epsilon``."""
+        if self.fanout is not None:
+            return self.fanout
+        return max(2, math.ceil(self.leaf_capacity**self.epsilon))
+
+    @property
+    def max_children(self) -> int:
+        """Split threshold: fanout may drift up to ``2F`` before splitting."""
+        return 2 * self.target_fanout
+
+    @property
+    def buffer_budget_bytes(self) -> int:
+        """Bytes of a node available for buffered messages."""
+        budget = (
+            self.node_bytes
+            - self.fmt.node_header_bytes
+            - self.max_children * self.fmt.pivot_bytes
+        )
+        if budget < self.fmt.message_bytes * self.max_children:
+            raise ConfigurationError(
+                f"node size {self.node_bytes} leaves no buffer room at fanout "
+                f"{self.target_fanout}"
+            )
+        return budget
+
+
+class BeTree:
+    """A Bε-tree dictionary storing ``int -> value`` pairs."""
+
+    def __init__(self, storage: StorageStack, config: BeTreeConfig | None = None) -> None:
+        self.storage = storage
+        self.config = config or BeTreeConfig()
+        self._next_id = 0
+        self._next_seq = 0
+        self.user_bytes_modified = 0
+        root = self._new_node(is_leaf=True)
+        self.root_id = root.node_id
+
+    # -- node lifecycle (overridden by the optimized tree) ---------------------
+
+    def _new_node(self, *, is_leaf: bool) -> BeNode:
+        node = BeNode(self._next_id, is_leaf)
+        self._next_id += 1
+        self._create_storage(node)
+        return node
+
+    def _create_storage(self, node: BeNode) -> None:
+        self.storage.create(node.node_id, node, self.config.node_bytes)
+
+    def _get(self, node_id: int) -> BeNode:
+        node = self.storage.get(node_id)
+        assert isinstance(node, BeNode)
+        return node
+
+    def _read_root_for_query(self) -> BeNode:
+        """Fetch the root at the start of a query."""
+        return self._get(self.root_id)
+
+    def _read_for_query(self, parent: BeNode | None, idx: int, node_id: int) -> BeNode:
+        """Fetch a node on a query path (whole node in the naive tree)."""
+        return self._get(node_id)
+
+    def _read_segment_for_query(self, node: BeNode, idx: int) -> None:
+        """Charge inspecting segment ``idx`` of ``node`` on a query path.
+
+        A no-op here: :meth:`_read_for_query` already moved the whole node.
+        The Theorem 9 tree overrides this to charge only the segment.
+        """
+
+    def _read_for_range(self, node_id: int) -> BeNode:
+        """Fetch a node during a range scan (whole node in both trees)."""
+        return self._get(node_id)
+
+    def _read_leaf_for_point_query(self, leaf: BeNode, key: int) -> None:
+        """Charge the leaf access of a point query (whole node here)."""
+        # _get in _read_for_query already charged it; nothing extra.
+
+    def _dirty(self, node: BeNode) -> None:
+        self.storage.mark_dirty(node.node_id)
+
+    def _dirty_segment(self, node: BeNode, idx: int) -> None:
+        """Segment-granularity dirtying; whole node in the naive tree."""
+        self.storage.mark_dirty(node.node_id)
+
+    def _dirty_pivots(self, node: BeNode) -> None:
+        self.storage.mark_dirty(node.node_id)
+
+    def _dirty_leaf_range(self, leaf: BeNode, lo_idx: int, hi_idx: int) -> None:
+        self.storage.mark_dirty(leaf.node_id)
+
+    def _free(self, node: BeNode) -> None:
+        self.storage.destroy(node.node_id)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _seq(self) -> int:
+        self._next_seq += 1
+        return self._next_seq
+
+    @staticmethod
+    def _child_index(node: BeNode, key: int) -> int:
+        return bisect.bisect_right(node.pivots, key)
+
+    def _segment_overflow_bytes(self) -> int:
+        """Per-segment byte cap; unbounded in the naive tree."""
+        return self.config.buffer_budget_bytes
+
+    # -- mutations ---------------------------------------------------------------
+
+    def insert(self, key: int, value: Any) -> None:
+        """Insert or overwrite ``key``."""
+        self._put(Message(self._seq(), MessageOp.INSERT, key, value))
+
+    def delete(self, key: int) -> None:
+        """Delete ``key`` (a no-op if absent; encoded as a tombstone)."""
+        self._put(Message(self._seq(), MessageOp.DELETE, key))
+
+    def upsert(self, key: int, delta: int) -> None:
+        """Add ``delta`` to the value of ``key`` (0 base if absent)."""
+        self._put(Message(self._seq(), MessageOp.UPSERT, key, delta))
+
+    def _put(self, msg: Message) -> None:
+        self.user_bytes_modified += self.config.fmt.entry_bytes
+        root = self._get(self.root_id)
+        if root.is_leaf:
+            self._apply_to_leaf(None, 0, [msg])
+            return
+        idx = self._child_index(root, msg.key)
+        root.add_message(idx, msg)
+        self._dirty_segment(root, idx)
+        self._flush_overflows(root)
+        self._maybe_grow_root()
+
+    def _buffer_over_budget(self, node: BeNode) -> bool:
+        fmt = self.config.fmt
+        if fmt.buffer_bytes(node.buffered_messages()) > self.config.buffer_budget_bytes:
+            return True
+        cap = self._segment_overflow_bytes()
+        return any(
+            node.segment_bytes(i, fmt) > cap for i in range(len(node.segments))
+        )
+
+    def _flush_overflows(self, node: BeNode) -> None:
+        """Flush the fullest child until the node's buffer fits again."""
+        while self._buffer_over_budget(node):
+            self._flush_child(node, node.fullest_segment())
+
+    def _flush_child(self, parent: BeNode, idx: int) -> None:
+        """Move child ``idx``'s pending messages down one level."""
+        msgs = parent.take_segment(idx)
+        self._dirty_segment(parent, idx)
+        if not msgs:
+            raise TreeError("flushing an empty segment would loop forever")
+        child = self._get(parent.children[idx])
+        if child.is_leaf:
+            self._apply_to_leaf(parent, idx, msgs)
+            return
+        for m in msgs:
+            child.add_message(self._child_index(child, m.key), m)
+        # The flush rewrites the child (its buffer changed wholesale).
+        self._dirty(child)
+        self._flush_overflows(child)
+        if len(child.children) > self.config.max_children:
+            self._split_internal(parent, idx)
+
+    def _apply_to_leaf(self, parent: BeNode | None, idx: int, msgs: list[Message]) -> None:
+        """Apply seq-sorted messages to a leaf; split/shrink as needed.
+
+        ``parent`` is ``None`` only when the root itself is the leaf.
+        """
+        leaf = self._get(parent.children[idx]) if parent is not None else self._get(self.root_id)
+        assert leaf.is_leaf
+        for m in msgs:
+            i = bisect.bisect_left(leaf.keys, m.key)
+            present = i < len(leaf.keys) and leaf.keys[i] == m.key
+            if m.op is MessageOp.INSERT:
+                if present:
+                    leaf.values[i] = m.value
+                else:
+                    leaf.keys.insert(i, m.key)
+                    leaf.values.insert(i, m.value)
+            elif m.op is MessageOp.DELETE:
+                if present:
+                    del leaf.keys[i]
+                    del leaf.values[i]
+            else:  # UPSERT
+                if present:
+                    leaf.values[i] = leaf.values[i] + m.value
+                else:
+                    leaf.keys.insert(i, m.key)
+                    leaf.values.insert(i, m.value)
+        self._dirty(leaf)
+        cap = self.config.leaf_capacity
+        if len(leaf.keys) > cap:
+            self._split_leaf(parent, idx, leaf)
+        elif parent is not None and not leaf.keys:
+            self._drop_empty_leaf(parent, idx, leaf)
+
+    def _split_leaf(self, parent: BeNode | None, idx: int, leaf: BeNode) -> None:
+        """Split an overfull leaf into ~2/3-full pieces."""
+        cap = self.config.leaf_capacity
+        pieces = math.ceil(len(leaf.keys) / math.ceil(cap * 2 / 3))
+        per = math.ceil(len(leaf.keys) / pieces)
+        new_nodes: list[BeNode] = []
+        for start in range(per, len(leaf.keys), per):
+            piece = self._new_node(is_leaf=True)
+            piece.keys = leaf.keys[start : start + per]
+            piece.values = leaf.values[start : start + per]
+            self._dirty(piece)
+            new_nodes.append(piece)
+        del leaf.keys[per:]
+        del leaf.values[per:]
+        self._dirty(leaf)
+        if parent is None:
+            parent = self._new_node(is_leaf=False)
+            parent.children = [leaf.node_id]
+            parent.segments = [SegmentBuffer()]
+            self.root_id = parent.node_id
+            idx = 0
+        for j, piece in enumerate(new_nodes):
+            parent.pivots.insert(idx + j, piece.keys[0])
+            parent.children.insert(idx + j + 1, piece.node_id)
+            parent.segments.insert(idx + j + 1, SegmentBuffer())
+        self._dirty_pivots(parent)
+
+    def _drop_empty_leaf(self, parent: BeNode, idx: int, leaf: BeNode) -> None:
+        """Remove a fully-emptied leaf, keeping at least one child."""
+        if len(parent.children) <= 1:
+            return  # a lone empty leaf under the root is allowed
+        leftover = parent.segments[idx]
+        if leftover.count:
+            raise TreeError("dropping a leaf whose segment still holds messages")
+        del parent.children[idx]
+        del parent.segments[idx]
+        # Removing child idx removes the separator on its left (or, for the
+        # leftmost child, the one on its right): the neighbour absorbs the
+        # emptied key range.
+        del parent.pivots[idx - 1 if idx > 0 else 0]
+        self._free(leaf)
+        self._dirty_pivots(parent)
+
+    def _split_internal(self, parent: BeNode | None, idx: int) -> None:
+        """Split internal node ``parent.children[idx]`` in half."""
+        node = (
+            self._get(parent.children[idx]) if parent is not None else self._get(self.root_id)
+        )
+        mid = len(node.children) // 2
+        right = self._new_node(is_leaf=False)
+        separator = node.pivots[mid - 1]
+        right.pivots = node.pivots[mid:]
+        right.children = node.children[mid:]
+        right.segments = node.segments[mid:]
+        del node.pivots[mid - 1 :]
+        del node.children[mid:]
+        del node.segments[mid:]
+        self._dirty(node)
+        self._dirty(right)
+        if parent is None:
+            parent = self._new_node(is_leaf=False)
+            parent.children = [node.node_id]
+            parent.segments = [SegmentBuffer()]
+            self.root_id = parent.node_id
+            idx = 0
+        parent.pivots.insert(idx, separator)
+        parent.children.insert(idx + 1, right.node_id)
+        # Partition the parent's pending messages for the split child: keys
+        # at or above the separator now route to the right half.
+        parent.segments.insert(idx + 1, parent.segments[idx].extract_ge(separator))
+        self._dirty_pivots(parent)
+
+    def _maybe_grow_root(self) -> None:
+        root = self._get(self.root_id)
+        if not root.is_leaf and len(root.children) > self.config.max_children:
+            self._split_internal(None, 0)
+
+    # -- queries ----------------------------------------------------------------
+
+    def get(self, key: int) -> Any | None:
+        """Point query; returns the value or ``None``."""
+        msgs: list[Message] = []
+        node = self._read_root_for_query()
+        parent: BeNode | None = None
+        idx = 0
+        while not node.is_leaf:
+            ci = self._child_index(node, key)
+            self._read_segment_for_query(node, ci)
+            msgs.extend(node.messages_for(ci, key))
+            parent, idx = node, ci
+            node = self._read_for_query(parent, ci, node.children[ci])
+        self._read_leaf_for_point_query(node, key)
+        i = bisect.bisect_left(node.keys, key)
+        present = i < len(node.keys) and node.keys[i] == key
+        base = node.values[i] if present else None
+        msgs.sort()
+        value, exists = apply_messages(base, present, msgs)
+        return value if exists else None
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key) is not None
+
+    def range(self, lo: int, hi: int) -> list[tuple[int, Any]]:
+        """All pairs with ``lo <= key <= hi`` in key order."""
+        if lo > hi:
+            return []
+        entries: dict[int, Any] = {}
+        msgs: list[Message] = []
+        self._collect_range(self.root_id, lo, hi, entries, msgs)
+        msgs.sort()
+        for m in msgs:
+            if m.op is MessageOp.INSERT:
+                entries[m.key] = m.value
+            elif m.op is MessageOp.DELETE:
+                entries.pop(m.key, None)
+            else:
+                entries[m.key] = entries.get(m.key, 0) + m.value
+        return sorted(entries.items())
+
+    def _collect_range(
+        self, node_id: int, lo: int, hi: int, entries: dict, msgs: list[Message]
+    ) -> None:
+        node = self._read_for_range(node_id)
+        if node.is_leaf:
+            i = bisect.bisect_left(node.keys, lo)
+            j = bisect.bisect_right(node.keys, hi)
+            entries.update(zip(node.keys[i:j], node.values[i:j]))
+            return
+        first = bisect.bisect_right(node.pivots, lo)
+        last = bisect.bisect_right(node.pivots, hi)
+        for ci in range(first, last + 1):
+            for key, key_msgs in node.segments[ci].items():
+                if lo <= key <= hi:
+                    msgs.extend(key_msgs)
+            self._collect_range(node.children[ci], lo, hi, entries, msgs)
+
+    def items(self) -> Iterator[tuple[int, Any]]:
+        """All pairs in key order (applies buffered messages logically)."""
+        lo, hi = -(1 << 62), 1 << 62
+        yield from self.range(lo, hi)
+
+    def __len__(self) -> int:
+        return len(list(self.items()))
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def flush_all(self) -> None:
+        """Push every buffered message down to the leaves (test/bench aid)."""
+        changed = True
+        while changed:
+            changed = self._flush_everything(self.root_id)
+            self._maybe_grow_root()
+
+    def _flush_everything(self, node_id: int) -> bool:
+        node = self._get(node_id)
+        if node.is_leaf:
+            return False
+        changed = False
+        while node.buffered_messages() > 0:
+            self._flush_child(node, node.fullest_segment())
+            changed = True
+        for child_id in list(node.children):
+            changed |= self._flush_everything(child_id)
+        return changed
+
+    def bulk_load(self, pairs: list[tuple[int, Any]]) -> None:
+        """Replace the tree's contents with sorted ``pairs`` (empty tree only)."""
+        if self._next_seq or len(list(self.items())):
+            raise TreeError("bulk_load requires a pristine tree")
+        for i in range(1, len(pairs)):
+            if pairs[i - 1][0] >= pairs[i][0]:
+                raise TreeError("bulk_load requires strictly increasing keys")
+        if not pairs:
+            return
+        self._free(self._get(self.root_id))
+        per_leaf = max(2, int(self.config.leaf_capacity * self.config.bulk_fill))
+        level: list[tuple[int, int]] = []
+        for start in range(0, len(pairs), per_leaf):
+            chunk = pairs[start : start + per_leaf]
+            leaf = self._new_node(is_leaf=True)
+            leaf.keys = [k for k, _ in chunk]
+            leaf.values = [v for _, v in chunk]
+            self._dirty(leaf)
+            level.append((leaf.keys[0], leaf.node_id))
+        self.user_bytes_modified += len(pairs) * self.config.fmt.entry_bytes
+
+        per_internal = max(2, int(self.config.target_fanout * self.config.bulk_fill))
+        while len(level) > 1:
+            next_level: list[tuple[int, int]] = []
+            for start in range(0, len(level), per_internal):
+                group = level[start : start + per_internal]
+                if len(group) == 1 and next_level:
+                    prev = self._get(next_level[-1][1])
+                    prev.pivots.append(group[0][0])
+                    prev.children.append(group[0][1])
+                    prev.segments.append(SegmentBuffer())
+                    self._dirty(prev)
+                    continue
+                node = self._new_node(is_leaf=False)
+                node.children = [nid for _, nid in group]
+                node.pivots = [first for first, _ in group[1:]]
+                node.segments = [SegmentBuffer() for _ in group]
+                self._dirty(node)
+                next_level.append((group[0][0], node.node_id))
+            level = next_level
+        self.root_id = level[0][1]
+
+    # -- invariants --------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert ordering, structure and byte budgets."""
+        leaf_depths: set[int] = set()
+        self._check_node(self.root_id, None, None, 0, leaf_depths)
+        if len(leaf_depths) > 1:
+            raise TreeError(f"leaves at multiple depths: {sorted(leaf_depths)}")
+
+    def _check_node(
+        self, node_id: int, lo: int | None, hi: int | None, depth: int, leaf_depths: set[int]
+    ) -> None:
+        node = self._get(node_id)
+        fmt = self.config.fmt
+        if node.is_leaf:
+            if len(node.keys) != len(node.values):
+                raise TreeError(f"leaf {node_id} keys/values mismatch")
+            if len(node.keys) > self.config.leaf_capacity:
+                raise TreeError(f"leaf {node_id} over capacity")
+            for a, b in zip(node.keys, node.keys[1:]):
+                if a >= b:
+                    raise TreeError(f"leaf {node_id} keys out of order")
+            for k in node.keys:
+                if (lo is not None and k < lo) or (hi is not None and k >= hi):
+                    raise TreeError(f"leaf {node_id} key {k} outside ({lo}, {hi})")
+            leaf_depths.add(depth)
+            return
+        if len(node.children) != len(node.pivots) + 1:
+            raise TreeError(f"node {node_id} pivot/children arity mismatch")
+        if len(node.segments) != len(node.children):
+            raise TreeError(f"node {node_id} segment/children arity mismatch")
+        if len(node.children) > self.config.max_children:
+            raise TreeError(f"node {node_id} fanout {len(node.children)} over max")
+        if fmt.buffer_bytes(node.buffered_messages()) > self.config.buffer_budget_bytes:
+            raise TreeError(f"node {node_id} buffer over budget")
+        for a, b in zip(node.pivots, node.pivots[1:]):
+            if a >= b:
+                raise TreeError(f"node {node_id} pivots out of order")
+        bounds = [lo] + list(node.pivots) + [hi]
+        for ci in range(len(node.children)):
+            c_lo, c_hi = bounds[ci], bounds[ci + 1]
+            for key in node.segments[ci].msgs:
+                if (c_lo is not None and key < c_lo) or (c_hi is not None and key >= c_hi):
+                    raise TreeError(
+                        f"node {node_id} segment {ci} message key {key} outside range"
+                    )
+                for m in node.segments[ci].msgs[key]:
+                    if m.key != key:
+                        raise TreeError(f"node {node_id} message filed under wrong key")
+            self._check_node(node.children[ci], c_lo, c_hi, depth + 1, leaf_depths)

@@ -1,0 +1,24 @@
+"""B-tree (paper Sections 3 and 5) and the Section 8 PDAM machinery.
+
+* :class:`~repro.trees.btree.tree.BTree` — byte-budgeted B-tree over a
+  :class:`~repro.storage.stack.StorageStack`.
+* :mod:`repro.trees.btree.veb` — static B-tree image in van Emde Boas
+  block layout with PDAM-adaptive traversal (Lemma 13).
+"""
+
+from repro.trees.btree.node import BTreeNode
+from repro.trees.btree.tree import BTree, BTreeConfig
+from repro.trees.btree.veb import (
+    StaticSearchTree,
+    VEBLayout,
+    PDAMQuerySimulator,
+)
+
+__all__ = [
+    "BTreeNode",
+    "BTree",
+    "BTreeConfig",
+    "StaticSearchTree",
+    "VEBLayout",
+    "PDAMQuerySimulator",
+]

@@ -1,0 +1,47 @@
+"""B-tree node representation.
+
+Nodes are plain Python objects; the storage stack prices their movement.
+A leaf holds sorted ``keys`` with parallel ``values``; an internal node
+holds ``len(children) - 1`` pivot ``keys`` where keys in ``children[i]``
+are ``< keys[i]`` and keys in ``children[i+1]`` are ``>= keys[i]``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.trees.sizing import EntryFormat
+
+
+class BTreeNode:
+    """One B-tree node (leaf or internal)."""
+
+    __slots__ = ("node_id", "is_leaf", "keys", "values", "children")
+
+    def __init__(
+        self,
+        node_id: int,
+        is_leaf: bool,
+        keys: list[int] | None = None,
+        values: list[Any] | None = None,
+        children: list[int] | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.is_leaf = is_leaf
+        self.keys: list[int] = keys if keys is not None else []
+        if is_leaf:
+            self.values: list[Any] = values if values is not None else []
+            self.children: list[int] = []
+        else:
+            self.values = []
+            self.children = children if children is not None else []
+
+    def nbytes(self, fmt: EntryFormat) -> int:
+        """Current byte footprint under the entry format."""
+        if self.is_leaf:
+            return fmt.leaf_bytes(len(self.keys))
+        return fmt.internal_bytes(len(self.children))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "leaf" if self.is_leaf else "internal"
+        return f"BTreeNode(id={self.node_id}, {kind}, n={len(self.keys)})"

@@ -1,0 +1,12 @@
+"""Cache-oblivious lookahead array (COLA).
+
+The paper's Section 8 resolves the PDAM node-size dilemma with ideas "from
+cache-oblivious data structures ... see e.g. [11, 20] for write-optimized
+examples" — [11] being the cache-oblivious streaming B-tree, whose core is
+the COLA.  This package implements the basic (amortized) COLA as a third
+write-optimized dictionary alongside the Bε-tree and the LSM-tree.
+"""
+
+from repro.trees.cola.cola import COLA, COLAConfig
+
+__all__ = ["COLA", "COLAConfig"]

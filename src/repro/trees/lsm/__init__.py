@@ -1,0 +1,13 @@
+"""Leveled LSM-tree (LevelDB-style) baseline.
+
+The paper's introduction names three write-optimized dictionary families:
+Bε-trees, log-structured merge trees, and external-memory skip lists — and
+specifically asks why "LevelDB's LSM-tree uses 2 MiB SSTables for all
+workloads."  This baseline lets the benchmark suite sweep the SSTable size
+the way Figures 2-3 sweep node sizes (experiment E11).
+"""
+
+from repro.trees.lsm.sstable import SSTable
+from repro.trees.lsm.tree import LSMTree, LSMConfig
+
+__all__ = ["SSTable", "LSMTree", "LSMConfig"]

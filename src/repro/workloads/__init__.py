@@ -1,0 +1,33 @@
+"""Workload generation: key distributions and operation streams."""
+
+from repro.workloads.distributions import (
+    UniformKeys,
+    ZipfKeys,
+    SequentialKeys,
+    ClusteredKeys,
+)
+from repro.workloads.generators import (
+    Operation,
+    OpKind,
+    random_load_pairs,
+    sorted_load_pairs,
+    point_query_stream,
+    insert_stream,
+    mixed_stream,
+    range_query_stream,
+)
+
+__all__ = [
+    "UniformKeys",
+    "ZipfKeys",
+    "SequentialKeys",
+    "ClusteredKeys",
+    "Operation",
+    "OpKind",
+    "random_load_pairs",
+    "sorted_load_pairs",
+    "point_query_stream",
+    "insert_stream",
+    "mixed_stream",
+    "range_query_stream",
+]

@@ -1,0 +1,115 @@
+"""Device-parameter fit tests (the Table 1 / Table 2 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import (
+    fit_affine_model,
+    fit_affine_overlay,
+    fit_pdam_model,
+)
+from repro.errors import FitError
+
+
+class TestAffineFit:
+    def test_recovers_exact_hardware(self):
+        s, t = 0.012, 1e-8
+        sizes = np.array([4096.0 * 4**k for k in range(7)])
+        times = s + t * sizes
+        fit = fit_affine_model(sizes, times)
+        assert fit.setup_seconds == pytest.approx(s, rel=1e-6)
+        assert fit.seconds_per_byte == pytest.approx(t, rel=1e-6)
+        assert fit.alpha == pytest.approx(t * 4096 / s, rel=1e-6)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_alpha_unit(self):
+        s, t = 0.01, 1e-8
+        sizes = np.array([1e3, 1e5, 1e7])
+        fit = fit_affine_model(sizes, s + t * sizes, alpha_unit_bytes=1)
+        assert fit.alpha == pytest.approx(t / s, rel=1e-6)
+
+    def test_predict(self):
+        sizes = np.array([1e3, 1e5, 1e7])
+        fit = fit_affine_model(sizes, 0.01 + 1e-8 * sizes)
+        assert fit.predict_seconds(2e5) == pytest.approx(0.01 + 2e-3)
+
+    def test_non_affine_data_rejected(self):
+        sizes = np.array([1e3, 1e5, 1e7])
+        with pytest.raises(FitError):
+            fit_affine_model(sizes, 1.0 - 1e-8 * sizes)  # negative slope
+
+    def test_negative_intercept_rejected(self):
+        sizes = np.array([1e3, 1e5, 1e7])
+        with pytest.raises(FitError):
+            fit_affine_model(sizes, -0.01 + 1e-8 * sizes)  # negative setup cost
+
+
+class TestPDAMFit:
+    def _threads_curve(self, P=4.0, flat=10.0, n_max=64):
+        threads = np.array([1, 2, 3, 4, 5, 6, 8, 12, 16, 24, 32, 48, 64], dtype=float)
+        threads = threads[threads <= n_max]
+        times = np.maximum(flat, flat * threads / P)
+        return threads, times
+
+    def test_recovers_parallelism(self):
+        threads, times = self._threads_curve(P=4.0)
+        fit = fit_pdam_model(threads, times, bytes_per_thread=1e9)
+        assert fit.parallelism == pytest.approx(4.0, rel=0.15)
+        assert fit.r2 > 0.99
+
+    def test_recovers_saturation(self):
+        # Above the knee, time = threads * bytes / saturation.
+        threads, times = self._threads_curve(P=4.0, flat=10.0)
+        fit = fit_pdam_model(threads, times, bytes_per_thread=1e9)
+        # slope = flat/P = 2.5 s/thread -> saturation = 1e9/2.5 = 4e8.
+        assert fit.saturation_bytes_per_second == pytest.approx(4e8, rel=0.05)
+
+    def test_never_saturated_rejected(self):
+        threads = np.array([1.0, 2, 3, 4, 5, 6])
+        times = np.full_like(threads, 7.0)
+        with pytest.raises(FitError):
+            fit_pdam_model(threads, times, bytes_per_thread=1e9)
+
+    def test_bad_bytes_rejected(self):
+        threads, times = self._threads_curve()
+        with pytest.raises(FitError):
+            fit_pdam_model(threads, times, bytes_per_thread=0)
+
+
+class TestOverlayFit:
+    def test_btree_overlay_recovers_alpha(self):
+        alpha, scale = 1e-6, 2.0
+        B = np.array([4096.0 * 4**k for k in range(6)])
+        y = scale * (1 + alpha * B) / np.log(B + 1)
+        fit = fit_affine_overlay(B, y, kind="btree")
+        assert fit.alpha == pytest.approx(alpha, rel=0.05)
+        assert fit.scale == pytest.approx(scale, rel=0.05)
+        assert fit.rms < 1e-6 * y.max()
+
+    def test_betree_kinds_fit_their_own_shape(self):
+        alpha, scale = 1e-6, 0.5
+        B = np.array([65536.0 * 4**k for k in range(5)])
+        for kind, shape in [
+            ("betree_insert", lambda b: (np.sqrt(b) / b + alpha * np.sqrt(b)) / np.log(np.sqrt(b))),
+            ("betree_query", lambda b: (1 + alpha * np.sqrt(b) * 2) / np.log(np.sqrt(b))),
+        ]:
+            y = scale * shape(B)
+            fit = fit_affine_overlay(B, y, kind=kind)
+            assert fit.r2 > 0.98, kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FitError):
+            fit_affine_overlay([10, 100, 1000], [1, 2, 3], kind="nope")
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(FitError):
+            fit_affine_overlay([10, 100], [1, 2], kind="btree")
+
+    def test_noisy_overlay_still_reasonable(self):
+        rng = np.random.default_rng(5)
+        alpha = 5e-7
+        B = np.array([4096.0 * 4**k for k in range(6)])
+        y = (1 + alpha * B) / np.log(B + 1)
+        y *= rng.uniform(0.9, 1.1, size=y.size)
+        fit = fit_affine_overlay(B, y, kind="btree")
+        assert 0.1 * alpha < fit.alpha < 10 * alpha

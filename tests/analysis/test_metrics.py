@@ -1,0 +1,73 @@
+"""Goodness-of-fit metric tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis.metrics import max_relative_error, r_squared, rms_error
+from repro.errors import FitError
+
+
+class TestRSquared:
+    def test_perfect_fit(self):
+        y = [1.0, 2.0, 3.0]
+        assert r_squared(y, y) == 1.0
+
+    def test_mean_prediction_is_zero(self):
+        y = [1.0, 2.0, 3.0]
+        assert r_squared(y, [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self):
+        assert r_squared([1.0, 2.0, 3.0], [3.0, 2.0, 1.0]) < 0
+
+    def test_constant_observed_perfect(self):
+        assert r_squared([5.0, 5.0], [5.0, 5.0]) == 1.0
+
+    def test_constant_observed_imperfect_raises(self):
+        with pytest.raises(FitError):
+            r_squared([5.0, 5.0], [5.0, 6.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(FitError):
+            r_squared([1.0], [1.0, 2.0])
+
+    def test_2d_rejected(self):
+        with pytest.raises(FitError):
+            r_squared(np.ones((2, 2)), np.ones((2, 2)))
+
+    @given(
+        hnp.arrays(np.float64, st.integers(3, 30),
+                   elements=st.floats(-1e6, 1e6)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_never_exceeds_one(self, y):
+        pred = y + 1.0  # any fixed offset
+        try:
+            r2 = r_squared(y, pred)
+        except FitError:
+            return  # constant-observed case
+        assert r2 <= 1.0 + 1e-12
+
+
+class TestRMS:
+    def test_zero_for_perfect(self):
+        assert rms_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        assert rms_error([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_empty_rejected(self):
+        with pytest.raises(FitError):
+            rms_error([], [])
+
+
+class TestMaxRelativeError:
+    def test_known_value(self):
+        # Paper: "never more than 14%" — the metric itself.
+        assert max_relative_error([100.0, 200.0], [114.0, 200.0]) == pytest.approx(0.14)
+
+    def test_zero_observation_rejected(self):
+        with pytest.raises(FitError):
+            max_relative_error([0.0], [1.0])

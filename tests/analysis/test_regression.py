@@ -1,0 +1,107 @@
+"""Linear and segmented regression tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.regression import linear_fit, segmented_linear_fit
+from repro.errors import FitError
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        fit = linear_fit(x, 2 * x + 5)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(5.0)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_noisy_line_recovers_params(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 100, 200)
+        y = 3 * x + 10 + rng.normal(0, 1, size=x.size)
+        fit = linear_fit(x, y)
+        assert fit.slope == pytest.approx(3.0, rel=0.02)
+        assert fit.intercept == pytest.approx(10.0, abs=1.0)
+        assert fit.r2 > 0.99
+
+    def test_predict(self):
+        fit = linear_fit([0, 1], [1, 3])
+        assert fit.predict(2.0) == pytest.approx(5.0)
+        np.testing.assert_allclose(fit.predict([0, 1, 2]), [1, 3, 5])
+
+    def test_constant_x_rejected(self):
+        with pytest.raises(FitError):
+            linear_fit([1.0, 1.0], [1.0, 2.0])
+
+    def test_too_few_points(self):
+        with pytest.raises(FitError):
+            linear_fit([1.0], [1.0])
+
+    @given(
+        st.floats(-100, 100), st.floats(-100, 100),
+        st.lists(st.floats(-1000, 1000), min_size=3, max_size=20, unique=True),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_recovers_any_exact_line(self, slope, intercept, xs):
+        xs = np.asarray(xs)
+        fit = linear_fit(xs, slope * xs + intercept)
+        np.testing.assert_allclose(
+            fit.predict(xs), slope * xs + intercept, atol=1e-6 * (1 + abs(slope) + abs(intercept))
+        )
+
+
+class TestSegmentedFit:
+    def _knee_data(self, breakpoint=8.0, level=10.0, slope=2.0, n=30, noise=0.0, seed=0):
+        rng = np.random.default_rng(seed)
+        x = np.linspace(1, 32, n)
+        y = np.where(x <= breakpoint, level, level + slope * (x - breakpoint))
+        return x, y + rng.normal(0, noise, size=n)
+
+    def test_exact_knee(self):
+        x, y = self._knee_data()
+        fit = segmented_linear_fit(x, y)
+        assert abs(fit.breakpoint - 8.0) < 2.0
+        assert fit.right.slope == pytest.approx(2.0, rel=0.05)
+        assert fit.r2 > 0.999
+
+    def test_noisy_knee(self):
+        x, y = self._knee_data(noise=0.3, seed=3)
+        fit = segmented_linear_fit(x, y)
+        assert abs(fit.breakpoint - 8.0) < 3.0
+        assert fit.r2 > 0.98
+
+    def test_flat_left_constrains_slope(self):
+        x, y = self._knee_data(noise=0.1, seed=4)
+        fit = segmented_linear_fit(x, y, flat_left=True)
+        assert fit.left.slope == 0.0
+        assert fit.left.intercept == pytest.approx(10.0, abs=0.5)
+
+    def test_predict_piecewise(self):
+        x, y = self._knee_data()
+        fit = segmented_linear_fit(x, y)
+        left_pred = float(fit.predict(2.0))
+        right_pred = float(fit.predict(30.0))
+        assert left_pred == pytest.approx(10.0, abs=0.5)
+        assert right_pred == pytest.approx(10 + 2 * 22, rel=0.05)
+
+    def test_needs_enough_points(self):
+        with pytest.raises(FitError):
+            segmented_linear_fit([1, 2, 3], [1, 2, 3])
+
+    def test_all_equal_x_rejected(self):
+        with pytest.raises(FitError):
+            segmented_linear_fit([1, 1, 1, 1], [1, 2, 3, 4])
+
+    def test_unsorted_input_handled(self):
+        x, y = self._knee_data()
+        order = np.random.default_rng(1).permutation(x.size)
+        fit = segmented_linear_fit(x[order], y[order])
+        assert abs(fit.breakpoint - 8.0) < 2.0
+
+    def test_pure_line_still_fits_well(self):
+        # Degenerate input (no knee): overall R^2 should still be ~1.
+        x = np.linspace(1, 10, 20)
+        fit = segmented_linear_fit(x, 3 * x + 1)
+        assert fit.r2 == pytest.approx(1.0)

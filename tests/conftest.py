@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.affine import AffineModel
+from repro.models.pdam import PDAMModel
+from repro.storage.hdd import HDDGeometry, SimulatedHDD
+from repro.storage.ideal import AffineDevice, PDAMDevice
+from repro.storage.ram import NullDevice
+from repro.storage.ssd import SSDGeometry, SimulatedSSD
+from repro.storage.stack import StorageStack
+from repro.trees.sizing import EntryFormat
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_fmt():
+    """An entry format with small values so tiny nodes hold many entries."""
+    return EntryFormat(key_bytes=8, value_bytes=20)
+
+
+@pytest.fixture
+def null_stack():
+    """A storage stack over a free device (logic tests)."""
+    return StorageStack(NullDevice(), cache_bytes=1 << 20)
+
+
+@pytest.fixture
+def tiny_cache_stack():
+    """A storage stack whose cache holds only a couple of nodes."""
+    return StorageStack(NullDevice(), cache_bytes=12 << 10)
+
+
+@pytest.fixture
+def affine_model():
+    return AffineModel(alpha=1e-6, setup_seconds=0.01)
+
+
+@pytest.fixture
+def affine_device(affine_model):
+    return AffineDevice(affine_model, capacity_bytes=1 << 30)
+
+
+@pytest.fixture
+def pdam_device():
+    return PDAMDevice(PDAMModel(parallelism=4, block_bytes=4096), capacity_bytes=1 << 30)
+
+
+@pytest.fixture
+def hdd():
+    return SimulatedHDD(HDDGeometry(capacity_bytes=1 << 30), seed=7)
+
+
+@pytest.fixture
+def ssd():
+    return SimulatedSSD(SSDGeometry(capacity_bytes=1 << 30))

@@ -1,0 +1,29 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig1", "table2", "table3", "fig2", "fig3",
+            "lemma13", "writeamp", "theorem9", "optima", "lsm",
+            "epsilon", "aging", "asymmetry", "ycsb", "modelerr",
+        }
+
+    def test_runs_cheap_experiment(self, capsys):
+        assert main(["optima"]) == 0
+        out = capsys.readouterr().out
+        assert "Corollaries" in out
+        assert "wall]" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_help_exits_zero(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0

@@ -1,0 +1,79 @@
+"""Device-zoo tests: the simulated stand-ins hit their paper targets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.devices import (
+    HDD_ZOO,
+    SSD_ZOO,
+    default_hdd,
+    default_ssd,
+    hdd_geometry_for,
+    make_hdd,
+    make_ssd,
+)
+
+
+class TestHDDZoo:
+    def test_all_rows_instantiate(self):
+        for name in HDD_ZOO:
+            assert make_hdd(name).capacity_bytes > 0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_hdd("floppy-drive")
+
+    def test_geometry_inversion(self):
+        # hdd_geometry_for must invert mean_setup_seconds exactly.
+        for name, (_, s, t4k) in HDD_ZOO.items():
+            g = hdd_geometry_for(s, t4k)
+            assert g.mean_setup_seconds == pytest.approx(s, rel=1e-9), name
+            assert 4096 / g.bandwidth_bytes_per_second == pytest.approx(t4k, rel=1e-9)
+
+    def test_impossible_setup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hdd_geometry_for(0.001, 1e-5)  # below half rotation
+
+    def test_default_hdd(self):
+        assert default_hdd().geometry.mean_setup_seconds == pytest.approx(0.012)
+
+
+class TestSSDZoo:
+    def test_all_rows_instantiate(self):
+        for name in SSD_ZOO:
+            assert make_ssd(name).geometry.total_dies >= 8
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_ssd("optane")
+
+    def test_saturation_targets(self):
+        # The zoo targets the paper's Table 1 "∝PB" column (MB/s).
+        targets = {
+            "samsung-860-pro-sim": 530,
+            "samsung-970-pro-sim": 2500,
+            "silicon-power-s55-sim": 260,
+            "sandisk-ultra-ii-sim": 520,
+        }
+        for name, mbps in targets.items():
+            sat = SSD_ZOO[name].saturated_read_bytes_per_second / 1e6
+            assert sat == pytest.approx(mbps, rel=0.05), name
+
+    def test_parallelism_ordering_matches_paper(self):
+        # Paper Table 1 ordering: S55 < 860 pro < Ultra II < 970 pro.
+        p = {n: g.expected_pdam_parallelism for n, g in SSD_ZOO.items()}
+        assert (
+            p["silicon-power-s55-sim"]
+            < p["samsung-860-pro-sim"]
+            < p["sandisk-ultra-ii-sim"]
+            < p["samsung-970-pro-sim"]
+        )
+
+    def test_default_ssd(self):
+        assert default_ssd().geometry.channels == 2
+
+    def test_dies_exceed_effective_parallelism(self):
+        # The design rule that keeps the knee flat: many more dies than P.
+        for name, g in SSD_ZOO.items():
+            assert g.total_dies > 1.5 * g.expected_pdam_parallelism, name

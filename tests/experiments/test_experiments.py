@@ -1,0 +1,276 @@
+"""Scaled-down end-to-end runs of every experiment, checking paper shapes.
+
+Each test calls the experiment's ``run()`` with reduced parameters (smaller
+loads, fewer ops) so the whole file runs in seconds, then asserts the
+qualitative claim the paper makes for that table/figure.
+"""
+
+import pytest
+
+from repro.experiments import (
+    exp_affine_validation,
+    exp_betree_nodesize,
+    exp_btree_nodesize,
+    exp_lsm_nodesize,
+    exp_optima,
+    exp_optimizations,
+    exp_pdam_concurrency,
+    exp_pdam_validation,
+    exp_sensitivity,
+    exp_write_amp,
+)
+
+
+class TestPDAMValidation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_pdam_validation.run(
+            threads=(1, 2, 3, 4, 6, 8, 12, 16, 24, 32),
+            bytes_per_thread=4 << 20,
+            devices=("samsung-860-pro-sim", "silicon-power-s55-sim"),
+        )
+
+    def test_r2_near_one(self, result):
+        for name, fit in result.fits.items():
+            assert fit.r2 > 0.98, name
+
+    def test_fitted_p_in_paper_range(self, result):
+        for name, fit in result.fits.items():
+            assert 1.5 < fit.parallelism < 10, name
+
+    def test_saturation_close_to_geometry(self, result):
+        from repro.experiments.devices import SSD_ZOO
+
+        for name, fit in result.fits.items():
+            target = SSD_ZOO[name].saturated_read_bytes_per_second
+            assert fit.saturation_bytes_per_second == pytest.approx(target, rel=0.15)
+
+    def test_dam_overestimates_by_about_p(self, result):
+        # Paper: "The DAM ... overestimates the completion time for large
+        # numbers of threads by roughly P."
+        for name, fit in result.fits.items():
+            factor = result.dam_overestimate_factor(name)
+            assert factor > 0.5 * fit.parallelism, name
+
+    def test_render(self, result):
+        out = result.render()
+        assert "Table 1" in out and "Figure 1" in out
+
+
+class TestAffineValidation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_affine_validation.run(reads_per_size=32)
+
+    def test_r2_near_one(self, result):
+        for name, fit in result.fits.items():
+            assert fit.r2 > 0.995, name
+
+    def test_bandwidth_recovered_exactly(self, result):
+        for name, fit in result.fits.items():
+            _, t4k = result.truth[name]
+            assert fit.seconds_per_byte * 4096 == pytest.approx(t4k, rel=0.05), name
+
+    def test_setup_within_25_percent(self, result):
+        # Paper: "the affine model predicts the time for IOs of varying
+        # sizes to within a 25% error."
+        for name, fit in result.fits.items():
+            s_true, _ = result.truth[name]
+            assert fit.setup_seconds == pytest.approx(s_true, rel=0.25), name
+
+    def test_alpha_ordering_matches_truth(self, result):
+        names = sorted(result.fits)
+        fitted = [result.fits[n].alpha for n in names]
+        true = [result.truth[n][1] / result.truth[n][0] for n in names]
+        import numpy as np
+
+        assert list(np.argsort(fitted)) == list(np.argsort(true))
+
+    def test_render(self, result):
+        assert "Table 2" in result.render()
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_sensitivity.run()
+
+    def test_btree_much_more_sensitive(self, result):
+        assert result.sensitivity(result.btree) > 3 * result.sensitivity(result.betree_query)
+
+    def test_betree_optimum_larger_than_btree(self, result):
+        # Bε-trees tolerate (and want) much larger nodes.
+        assert result.optimum_entries(result.betree_query) >= result.optimum_entries(
+            result.btree
+        )
+
+    def test_render(self, result):
+        assert "Table 3" in result.render()
+
+
+class TestBTreeNodeSize:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_btree_nodesize.run(
+            n_entries=60_000, cache_bytes=2 << 20, n_queries=150, n_inserts=150
+        )
+
+    def test_large_nodes_hurt(self, result):
+        # Figure 2: past the optimum, cost grows roughly linearly.
+        assert result.query_ms[-1] > 1.5 * min(result.query_ms)
+        assert result.insert_ms[-1] > 1.5 * min(result.insert_ms)
+
+    def test_optimum_below_half_bandwidth(self, result):
+        from repro.experiments.devices import default_hdd
+
+        half_bw = default_hdd().geometry.half_bandwidth_bytes
+        assert result.best_query_node < half_bw
+
+    def test_overlay_fit_exists(self, result):
+        assert result.query_fit is not None and result.query_fit.alpha > 0
+
+    def test_render(self, result):
+        assert "Figure 2" in result.render()
+
+
+class TestBeTreeNodeSize:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_betree_nodesize.run(
+            node_sizes=(64 << 10, 256 << 10, 1 << 20),
+            n_entries=60_000,
+            cache_bytes=2 << 20,
+            n_queries=150,
+            max_inserts=20_000,
+        )
+
+    def test_flatter_than_btree(self, result):
+        # The headline Figure 3 claim.
+        assert result.sensitivity("query") < 3.0
+
+    def test_insert_cost_way_below_query_cost(self, result):
+        assert max(result.insert_ms) < min(result.query_ms)
+
+    def test_render(self, result):
+        assert "Figure 3" in result.render()
+
+
+class TestPDAMConcurrency:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_pdam_concurrency.run(
+            n_keys=1 << 12, clients=(1, 2, 4, 8, 16), queries_per_client=20
+        )
+
+    def test_lemma13_dominance(self, result):
+        assert result.veb_dominates(slack=0.85)
+
+    def test_flat_b_saturates(self, result):
+        thr = result.throughput["flat_b"]
+        assert thr[-1] == pytest.approx(thr[-2], rel=0.2)
+
+    def test_flat_pb_flat(self, result):
+        thr = result.throughput["flat_pb"]
+        assert max(thr) < 2.5 * min(thr)
+
+    def test_render(self, result):
+        assert "Lemma 13" in result.render()
+
+
+class TestWriteAmp:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_write_amp.run(n_loaded=40_000, n_inserts=2_500)
+
+    def test_btree_linear_in_node_size(self, result):
+        # 16 KiB -> 1 MiB is 64x; expect at least ~20x more write amp.
+        assert result.btree[-1] > 20 * result.btree[0]
+
+    def test_betree_much_lower_at_large_nodes(self, result):
+        assert result.betree[-1] < result.btree[-1] / 50
+
+    def test_render(self, result):
+        assert "Write amplification" in result.render()
+
+
+class TestTheorem9Ablation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_optimizations.run(
+            n_entries=60_000, n_queries=120, n_inserts=8_000
+        )
+
+    def test_each_step_improves_queries(self, result):
+        assert result.query_ms["segments"] < result.query_ms["naive"]
+        assert result.query_ms["theorem9"] <= result.query_ms["segments"]
+
+    def test_speedup_material(self, result):
+        assert result.query_speedup > 1.5
+
+    def test_render(self, result):
+        assert "ablation" in result.render()
+
+
+class TestOptima:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_optima.run()
+
+    def test_optimum_fraction_shrinks_with_alpha(self, result):
+        fracs = [b * a for b, a in zip(result.numeric_btree, result.alphas)]
+        assert fracs == sorted(fracs, reverse=True)
+
+    def test_speedup_grows(self, result):
+        assert result.insert_speedup == sorted(result.insert_speedup)
+
+    def test_render(self, result):
+        assert "Corollaries" in result.render()
+
+
+class TestLSM:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_lsm_nodesize.run(
+            sstable_sizes=(256 << 10, 1 << 20),
+            n_loaded=30_000,
+            min_inserts=8_000,
+            max_inserts=20_000,
+            n_queries=100,
+        )
+
+    def test_queries_flat(self, result):
+        assert max(result.query_ms) < 1.5 * min(result.query_ms)
+
+    def test_insert_cheap(self, result):
+        assert max(result.insert_ms) < min(result.query_ms)
+
+    def test_render(self, result):
+        assert "LSM" in result.render()
+
+
+class TestPDAMWriteMix:
+    def test_writes_lower_saturation_same_shape(self):
+        from repro.experiments import exp_pdam_validation
+
+        kwargs = dict(
+            threads=(1, 2, 4, 8, 16, 32),
+            bytes_per_thread=2 << 20,
+            devices=("samsung-860-pro-sim",),
+        )
+        reads = exp_pdam_validation.run(**kwargs)
+        mixed = exp_pdam_validation.run(write_fraction=0.5, **kwargs)
+        name = "samsung-860-pro-sim"
+        # Writes are slower: lower saturation throughput, same knee shape.
+        assert (
+            mixed.fits[name].saturation_bytes_per_second
+            < reads.fits[name].saturation_bytes_per_second
+        )
+        assert mixed.fits[name].r2 > 0.97
+        t = mixed.times[name]
+        assert t[-1] > 2 * t[0]  # still saturates and grows linearly
+
+    def test_bad_fraction_rejected(self):
+        from repro.experiments import exp_pdam_validation
+
+        with pytest.raises(ValueError):
+            exp_pdam_validation.run(write_fraction=1.5)

@@ -1,0 +1,120 @@
+"""Scaled-down runs of the extension experiments (E12-E14)."""
+
+import pytest
+
+from repro.experiments import exp_aging, exp_asymmetry, exp_epsilon_tradeoff
+
+
+class TestEpsilonTradeoff:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_epsilon_tradeoff.run(
+            node_bytes=128 << 10,
+            fanouts=(2, 8, 64),
+            n_entries=50_000,
+            cache_bytes=1 << 20,
+            n_queries=100,
+        )
+
+    def test_insert_cost_rises_with_fanout(self, result):
+        inserts = [p.insert_ms for p in result.betree_points()]
+        assert inserts == sorted(inserts)
+
+    def test_query_cost_falls_from_brt_end(self, result):
+        queries = [p.query_ms for p in result.betree_points()]
+        assert queries[0] > queries[-1]
+
+    def test_all_reference_structures_present(self, result):
+        labels = {p.label for p in result.points}
+        assert any(label.startswith("btree") for label in labels)
+        assert any(label.startswith("lsm") for label in labels)
+        assert "cola" in labels
+
+    def test_cola_is_write_optimal_but_not_query_optimal(self, result):
+        by_label = {p.label: p for p in result.points}
+        cola = by_label["cola"]
+        assert cola.insert_ms == min(p.insert_ms for p in result.points)
+        # Even with fence pointers, the COLA probes one block per level —
+        # strictly worse for queries than the B-tree's single-leaf miss.
+        assert cola.query_ms > by_label["btree 64KiB"].query_ms
+
+    def test_render(self, result):
+        assert "tradeoff" in result.render()
+
+
+class TestAging:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_aging.run(
+            node_sizes=(16 << 10, 256 << 10),
+            n_entries=60_000,
+            cache_bytes=1 << 20,
+            n_scans=10,
+        )
+
+    def test_aging_hurts_small_nodes_more(self, result):
+        slow = result.measured_slowdown
+        assert slow[0] > 3 * slow[-1]
+
+    def test_fresh_always_faster(self, result):
+        for f, a in zip(result.fresh_mibps, result.aged_mibps):
+            assert f > a
+
+    def test_prediction_brackets_measurement(self, result):
+        for measured, predicted in zip(result.measured_slowdown, result.predicted_slowdown):
+            assert predicted / 3 < measured < predicted * 3
+
+    def test_render(self, result):
+        assert "aging" in result.render()
+
+
+class TestAsymmetry:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_asymmetry.run(
+            write_multipliers=(1.0, 8.0),
+            fanouts=(4, 16, 64),
+            n_entries=40_000,
+            cache_bytes=1 << 20,
+            n_queries=80,
+        )
+
+    def test_model_optimum_falls_with_write_cost(self, result):
+        assert result.model_optimal_fanout[1] < result.model_optimal_fanout[0]
+
+    def test_measured_optimum_weakly_falls(self, result):
+        assert result.measured_best_fanout[1] <= result.measured_best_fanout[0]
+
+    def test_costs_rise_with_write_multiplier(self, result):
+        # Same workload, pricier writes: every fanout's cost goes up.
+        for fanout in result.fanouts:
+            assert result.measured_cost_ms[1][fanout] > result.measured_cost_ms[0][fanout]
+
+    def test_render(self, result):
+        assert "asymmetry" in result.render()
+
+
+class TestModelError:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import exp_model_error
+
+        return exp_model_error.run(
+            node_sizes=(16 << 10, 256 << 10, 4 << 20),
+            n_entries=80_000,
+            cache_bytes=2 << 20,
+            n_queries=150,
+        )
+
+    def test_affine_within_paper_bound(self, result):
+        assert all(abs(e) < 0.25 for e in result.affine_errors)
+
+    def test_dam_within_lemma1_factor_2(self, result):
+        for m, p in zip(result.measured_ms, result.dam_ms):
+            assert 0.4 < p / m < 2.6
+
+    def test_dam_error_changes_sign(self, result):
+        assert min(result.dam_errors) < 0 < max(result.dam_errors)
+
+    def test_render(self, result):
+        assert "predictability" in result.render()

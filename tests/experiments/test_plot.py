@@ -1,0 +1,67 @@
+"""ASCII plot tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_markers_and_legend(self):
+        out = ascii_plot("T", [1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]})
+        assert "o = a" in out and "x = b" in out
+        assert "o" in out and "x" in out
+
+    def test_extremes_land_on_borders(self):
+        out = ascii_plot("T", [1, 10], {"s": [5.0, 50.0]}, height=6)
+        lines = out.splitlines()
+        # Max value labels the top row, min the bottom data row.
+        assert lines[2].startswith("50")
+        assert any(line.startswith(" 5 ") or line.startswith("5 ") for line in lines)
+
+    def test_log_scales(self):
+        out = ascii_plot(
+            "T", [1, 10, 100], {"s": [1.0, 10.0, 100.0]}, log_x=True, log_y=True
+        )
+        assert "[log x, log y]" in out
+        # On log-log a power law is a straight diagonal: three distinct
+        # columns and rows.
+        marker_rows = [
+            i for i, line in enumerate(out.splitlines()) if "|" in line and "o" in line
+        ]
+        assert len(marker_rows) == 3
+
+    def test_log_requires_positive(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot("T", [0, 1], {"s": [1.0, 2.0]}, log_x=True)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot("T", [1, 2], {})
+        with pytest.raises(ConfigurationError):
+            ascii_plot("T", [1, 2], {"s": [1.0]})
+        with pytest.raises(ConfigurationError):
+            ascii_plot("T", [1], {"s": [1.0]})
+        with pytest.raises(ConfigurationError):
+            ascii_plot("T", [1, 2], {"s": [1.0, 2.0]}, width=4)
+
+    def test_constant_series_handled(self):
+        out = ascii_plot("T", [1, 2, 3], {"s": [5.0, 5.0, 5.0]})
+        assert out.count("o") >= 3 + 1  # 3 markers + legend
+
+    def test_result_render_plot_methods(self):
+        from repro.experiments import exp_pdam_concurrency
+
+        result = exp_pdam_concurrency.run(
+            n_keys=1 << 10, clients=(1, 2, 4), queries_per_client=5
+        )
+        out = result.render_plot()
+        assert "Lemma 13" in out
+        assert "veb_pb" in out
+
+    def test_cli_plot_flag(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["lemma13", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "queries/step" in out  # the plot's axis label

@@ -1,0 +1,92 @@
+"""Lemma 1 measured on real tree workloads.
+
+    "An affine algorithm with cost C can be transformed into a DAM
+    algorithm with cost 2C, where blocks have size B = 1/alpha. ...
+    Thus, if losing a factor of 2 on all operations is satisfactory,
+    then the DAM is good enough."
+
+These tests run a B-tree workload on an exact affine device with the node
+size at the half-bandwidth point and compare the measured affine time
+against the DAM's prediction (IO count x half-bandwidth block time):
+the two must agree within the factor of 2 in both directions.
+"""
+
+import pytest
+
+from repro.models.affine import AffineModel
+from repro.models.dam import DAMModel
+from repro.storage.ideal import AffineDevice
+from repro.storage.stack import StorageStack
+from repro.trees.btree import BTree, BTreeConfig
+from repro.trees.sizing import EntryFormat
+from repro.workloads.generators import (
+    insert_stream,
+    point_query_stream,
+    random_load_pairs,
+)
+
+ALPHA = 1e-5          # per byte
+SETUP = 0.01          # seconds
+HALF_BW = round(1 / ALPHA)  # 100 KB block (int() would truncate to 99999)
+
+
+@pytest.fixture(scope="module")
+def workload_measurement():
+    model = AffineModel(alpha=ALPHA, setup_seconds=SETUP)
+    device = AffineDevice(model, capacity_bytes=1 << 31)
+    stack = StorageStack(device, cache_bytes=2 << 20)
+    tree = BTree(
+        stack, BTreeConfig(node_bytes=HALF_BW, fmt=EntryFormat(value_bytes=20))
+    )
+    pairs = random_load_pairs(200_000, 1 << 30, seed=0)
+    tree.bulk_load(pairs)
+    stack.drop_cache()
+    keys = [k for k, _ in pairs]
+    io0 = device.stats.ios
+    t0 = stack.io_seconds
+    for k in point_query_stream(keys, 300, seed=1):
+        tree.get(k)
+    for k, v in insert_stream(1 << 30, 300, seed=2):
+        tree.insert(k, v)
+    stack.flush()
+    ios = device.stats.ios - io0
+    affine_seconds = stack.io_seconds - t0
+    return ios, affine_seconds
+
+
+class TestLemma1OnTrees:
+    def test_dam_prediction_within_factor_2(self, workload_measurement):
+        ios, affine_seconds = workload_measurement
+        # DAM at the half-bandwidth point: each block IO takes 2s seconds.
+        dam = DAMModel.at_half_bandwidth_point(SETUP, ALPHA * SETUP)
+        dam_seconds = ios * dam.setup_seconds
+        ratio = dam_seconds / affine_seconds
+        assert 0.5 <= ratio <= 2.0, f"DAM/affine ratio {ratio}"
+
+    def test_half_bandwidth_ios_cost_exactly_two_setups(self, workload_measurement):
+        ios, affine_seconds = workload_measurement
+        # Every IO moves exactly one half-bandwidth node, costing s + s.
+        assert affine_seconds == pytest.approx(ios * 2 * SETUP, rel=1e-6)
+
+    def test_smaller_nodes_break_the_dam_estimate(self):
+        """With nodes far below 1/alpha, the DAM (still counting the same
+        node IOs at half-bandwidth pricing) overestimates grossly — the
+        imprecision Section 2 says makes the DAM blind to node-size tuning."""
+        model = AffineModel(alpha=ALPHA, setup_seconds=SETUP)
+        device = AffineDevice(model, capacity_bytes=1 << 31)
+        stack = StorageStack(device, cache_bytes=2 << 20)
+        tree = BTree(
+            stack, BTreeConfig(node_bytes=HALF_BW // 16, fmt=EntryFormat(value_bytes=20))
+        )
+        tree.bulk_load(random_load_pairs(100_000, 1 << 30, seed=3))
+        stack.drop_cache()
+        keys = list(range(0, 100))
+        io0, t0 = device.stats.ios, stack.io_seconds
+        for k in point_query_stream([k for k, _ in random_load_pairs(1000, 1 << 30, seed=3)], 200, seed=4):
+            tree.get(k)
+        ios = device.stats.ios - io0
+        affine_seconds = stack.io_seconds - t0
+        dam = DAMModel.at_half_bandwidth_point(SETUP, ALPHA * SETUP)
+        ratio = ios * dam.setup_seconds / affine_seconds
+        assert ratio > 1.5  # small IOs cost ~s, DAM charges 2s each
+        del keys

@@ -1,0 +1,103 @@
+"""Model-vs-simulator validation: the Section 4 claims as tests.
+
+These are integration tests of the whole measurement pipeline: simulated
+device -> microbenchmark -> regression -> recovered model parameters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import fit_affine_model, fit_pdam_model
+from repro.analysis.metrics import max_relative_error
+from repro.experiments.devices import hdd_geometry_for, make_ssd
+from repro.models.affine import AffineModel
+from repro.storage.device import ReadRequest
+from repro.storage.hdd import SimulatedHDD
+from repro.storage.ideal import AffineDevice
+
+
+class TestAffinePipeline:
+    def _measure(self, hdd, io_sizes, reads_per_size=48, seed=0):
+        rng = np.random.default_rng(seed)
+        sizes, times = [], []
+        for io in io_sizes:
+            samples = []
+            for _ in range(reads_per_size):
+                off = int(rng.integers(0, (hdd.capacity_bytes - io) // 512)) * 512
+                samples.append(hdd.read(off, io))
+            sizes.append(io)
+            times.append(float(np.mean(samples)))
+        return sizes, times
+
+    def test_recovers_configured_hardware(self):
+        g = hdd_geometry_for(0.012, 0.000035)
+        hdd = SimulatedHDD(g, seed=1)
+        sizes, times = self._measure(hdd, [4096 * 4**k for k in range(7)])
+        fit = fit_affine_model(sizes, times)
+        assert fit.setup_seconds == pytest.approx(0.012, rel=0.15)
+        assert fit.seconds_per_byte * 4096 == pytest.approx(0.000035, rel=0.05)
+        assert fit.r2 > 0.995
+
+    def test_prediction_error_within_25_percent(self):
+        # Paper: "the affine model predicts the time for IOs of varying
+        # sizes to within a 25% error."
+        g = hdd_geometry_for(0.015, 0.000033)
+        hdd = SimulatedHDD(g, seed=2)
+        sizes, times = self._measure(hdd, [4096 * 4**k for k in range(7)])
+        fit = fit_affine_model(sizes, times)
+        pred = fit.predict_seconds(sizes)
+        assert max_relative_error(times, pred) < 0.25
+
+    def test_ideal_device_fits_perfectly(self):
+        dev = AffineDevice(AffineModel(alpha=1e-6, setup_seconds=0.01),
+                           capacity_bytes=1 << 30)
+        sizes = [4096 * 4**k for k in range(6)]
+        times = [dev.read(0, s) for s in sizes]
+        fit = fit_affine_model(sizes, times)
+        assert fit.r2 == pytest.approx(1.0, abs=1e-9)
+        assert fit.setup_seconds == pytest.approx(0.01, rel=1e-6)
+
+
+class TestPDAMPipeline:
+    def _thread_sweep(self, name, threads, bytes_per_thread=4 << 20, seed=0):
+        times = []
+        for p in threads:
+            ssd = make_ssd(name)
+            rng = np.random.default_rng(seed + p)
+            n_req = bytes_per_thread // 65536
+            stripes = ssd.capacity_bytes // 65536
+            streams = [
+                [
+                    ReadRequest(int(o) * 65536, 65536)
+                    for o in rng.integers(0, stripes, size=n_req)
+                ]
+                for _ in range(p)
+            ]
+            times.append(ssd.run_closed_loop(streams))
+        return times
+
+    def test_recovers_saturation_throughput(self):
+        threads = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
+        times = self._thread_sweep("samsung-860-pro-sim", threads)
+        fit = fit_pdam_model(list(threads), times, bytes_per_thread=4 << 20)
+        from repro.experiments.devices import SSD_ZOO
+
+        target = SSD_ZOO["samsung-860-pro-sim"].saturated_read_bytes_per_second
+        assert fit.saturation_bytes_per_second == pytest.approx(target, rel=0.1)
+
+    def test_prediction_error_reasonable(self):
+        # Paper: PDAM predicts run-time "within an error of never more than
+        # 14%"; our simulator's soft knee keeps us in the same ballpark.
+        threads = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48)
+        times = self._thread_sweep("silicon-power-s55-sim", threads)
+        fit = fit_pdam_model(list(threads), times, bytes_per_thread=4 << 20)
+        pred = fit.predict_seconds(list(threads))
+        assert max_relative_error(times, pred) < 0.25
+
+    def test_flat_region_is_flat(self):
+        times = self._thread_sweep("samsung-970-pro-sim", (1, 2))
+        assert times[1] < 1.3 * times[0]
+
+    def test_saturated_region_linear(self):
+        times = self._thread_sweep("silicon-power-s55-sim", (24, 48))
+        assert times[1] == pytest.approx(2 * times[0], rel=0.15)

@@ -1,0 +1,158 @@
+"""Model-vs-data-structure validation: measured tree costs track Table 3.
+
+The trees run on an ideal :class:`AffineDevice` (no mechanical noise), so
+measured per-op simulated time can be compared against the closed-form
+affine cost functions directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.affine import AffineModel
+from repro.models.analysis import (
+    betree_insert_cost,
+    btree_op_cost,
+)
+from repro.storage.ideal import AffineDevice
+from repro.storage.stack import StorageStack
+from repro.trees.betree import BeTreeConfig, OptimizedBeTree
+from repro.trees.btree import BTree, BTreeConfig
+from repro.trees.sizing import EntryFormat
+from repro.workloads.generators import (
+    insert_stream,
+    point_query_stream,
+    random_load_pairs,
+)
+
+ALPHA_PER_BYTE = 2e-6
+SETUP = 0.01
+FMT = EntryFormat(value_bytes=20)  # 28-byte entries
+N_ENTRIES = 120_000
+UNIVERSE = 1 << 30
+
+
+def affine_stack(cache_bytes):
+    dev = AffineDevice(AffineModel(alpha=ALPHA_PER_BYTE, setup_seconds=SETUP),
+                       capacity_bytes=1 << 31)
+    return StorageStack(dev, cache_bytes)
+
+
+def measure_queries(tree, keys, n=150, seed=3):
+    tree.storage.drop_cache()
+    for k in point_query_stream(keys, 100, seed=seed):  # warm internals
+        tree.get(k)
+    t0 = tree.storage.io_seconds
+    for k in point_query_stream(keys, n, seed=seed + 1):
+        tree.get(k)
+    return (tree.storage.io_seconds - t0) / n
+
+
+class TestBTreeTracksModel:
+    def _measured_query_cost(self, node_bytes, cache_bytes=1 << 20):
+        stack = affine_stack(cache_bytes)
+        tree = BTree(stack, BTreeConfig(node_bytes=node_bytes, fmt=FMT))
+        pairs = random_load_pairs(N_ENTRIES, UNIVERSE, seed=1)
+        tree.bulk_load(pairs)
+        return measure_queries(tree, [k for k, _ in pairs])
+
+    def test_query_cost_ratio_matches_model(self):
+        """Measured cost ratio across node sizes tracks (1+aB)/log(B+1)."""
+        small, big = 8 << 10, 512 << 10
+        measured_ratio = self._measured_query_cost(big) / self._measured_query_cost(small)
+
+        def model_cost(node_bytes):
+            entries = FMT.leaf_capacity(node_bytes)
+            alpha_entry = ALPHA_PER_BYTE * FMT.entry_bytes
+            m = N_ENTRIES * (1 << 20) / (N_ENTRIES * FMT.entry_bytes)  # cache in entries
+            return btree_op_cost(entries, alpha_entry, N_ENTRIES, m)
+
+        model_ratio = model_cost(big) / model_cost(small)
+        assert measured_ratio == pytest.approx(model_ratio, rel=0.6)
+        assert measured_ratio > 1.5  # big nodes clearly cost more
+
+    def test_absolute_query_cost_near_one_io_per_uncached_level(self):
+        # With a 1 MiB cache over ~3.3 MiB of data, a point query should
+        # miss on roughly one level (the leaf).
+        cost = self._measured_query_cost(16 << 10)
+        one_io = SETUP + ALPHA_PER_BYTE * SETUP * 0 + (16 << 10) * ALPHA_PER_BYTE * SETUP
+        # one_io = s * (1 + alpha*B) in seconds:
+        one_io = SETUP * (1 + ALPHA_PER_BYTE * (16 << 10))
+        assert 0.3 * one_io < cost < 2.5 * one_io
+
+
+class TestBeTreeTracksModel:
+    def _measured_insert_cost(self, node_bytes, fanout=8, cache_bytes=1 << 20):
+        stack = affine_stack(cache_bytes)
+        cfg = BeTreeConfig(node_bytes=node_bytes, fanout=fanout, fmt=FMT)
+        tree = OptimizedBeTree(stack, cfg)
+        pairs = random_load_pairs(N_ENTRIES, UNIVERSE, seed=2)
+        tree.bulk_load(pairs)
+        # Prefill the root buffer, then measure amortized inserts.
+        buffer_msgs = cfg.buffer_budget_bytes // cfg.fmt.message_bytes
+        for k, v in insert_stream(UNIVERSE, buffer_msgs, seed=7):
+            tree.insert(k, v)
+        n = 3 * buffer_msgs
+        t0 = stack.io_seconds
+        for k, v in insert_stream(UNIVERSE, n, seed=8):
+            tree.insert(k, v)
+        stack.flush()
+        return (stack.io_seconds - t0) / n
+
+    def test_insert_far_cheaper_than_btree_query(self):
+        """The WOD property with concrete affine numbers."""
+        be_insert = self._measured_insert_cost(256 << 10)
+        stack = affine_stack(1 << 20)
+        bt = BTree(stack, BTreeConfig(node_bytes=64 << 10, fmt=FMT))
+        pairs = random_load_pairs(N_ENTRIES, UNIVERSE, seed=2)
+        bt.bulk_load(pairs)
+        stack.drop_cache()
+        t0 = stack.io_seconds
+        n = 300
+        for k, v in insert_stream(UNIVERSE, n, seed=9):
+            bt.insert(k, v)
+        stack.flush()
+        bt_insert = (stack.io_seconds - t0) / n
+        assert be_insert < bt_insert / 5
+
+    def test_insert_cost_scales_like_model(self):
+        """Doubling F at fixed B roughly doubles flush cost per element."""
+        c8 = self._measured_insert_cost(256 << 10, fanout=8)
+        c16 = self._measured_insert_cost(256 << 10, fanout=16)
+        alpha_entry = ALPHA_PER_BYTE * FMT.entry_bytes
+        entries = FMT.leaf_capacity(256 << 10)
+        m_entries = (1 << 20) // FMT.entry_bytes
+        model_ratio = betree_insert_cost(entries, 16, alpha_entry, N_ENTRIES, m_entries) / (
+            betree_insert_cost(entries, 8, alpha_entry, N_ENTRIES, m_entries)
+        )
+        measured_ratio = c16 / c8
+        # Both should show "more fanout -> costlier flushes" with similar scale.
+        assert measured_ratio == pytest.approx(model_ratio, rel=0.75)
+
+
+class TestQueryInsertTradeoffDirection:
+    def test_bigger_nodes_help_betree_inserts_hurt_btree_queries(self):
+        sizes = (64 << 10, 1 << 20)
+        be_costs = []
+        bt_costs = []
+        for nb in sizes:
+            stack = affine_stack(1 << 20)
+            be = OptimizedBeTree(stack, BeTreeConfig(node_bytes=nb, fanout=8, fmt=FMT))
+            pairs = random_load_pairs(N_ENTRIES, UNIVERSE, seed=4)
+            be.bulk_load(pairs)
+            cfg = be.config
+            buffer_msgs = cfg.buffer_budget_bytes // cfg.fmt.message_bytes
+            n = 2 * buffer_msgs
+            for k, v in insert_stream(UNIVERSE, buffer_msgs, seed=5):
+                be.insert(k, v)
+            t0 = stack.io_seconds
+            for k, v in insert_stream(UNIVERSE, n, seed=6):
+                be.insert(k, v)
+            stack.flush()
+            be_costs.append((stack.io_seconds - t0) / n)
+
+            stack2 = affine_stack(1 << 20)
+            bt = BTree(stack2, BTreeConfig(node_bytes=nb, fmt=FMT))
+            bt.bulk_load(pairs)
+            bt_costs.append(measure_queries(bt, [k for k, _ in pairs], n=100))
+        assert be_costs[1] < be_costs[0]      # Bε inserts improve with B
+        assert bt_costs[1] > bt_costs[0]      # B-tree queries degrade with B

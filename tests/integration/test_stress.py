@@ -1,0 +1,193 @@
+"""Long-run stress tests: adversarial interactions under memory pressure.
+
+Each scenario combines the features most likely to interact badly — tiny
+caches (eviction mid-operation), random extent placement (allocator
+churn), segment-granular IO (component bookkeeping), periodic weight
+rebuilds (wholesale structure replacement) — and checks full invariants
+plus dict-equivalence at checkpoints throughout the run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.storage.ram import NullDevice
+from repro.storage.stack import StorageStack
+from repro.trees.betree import (
+    BeTreeConfig,
+    OptimizedBeTree,
+    check_weight_balance,
+    rebuild_weight_balance,
+)
+from repro.trees.btree import BTree, BTreeConfig
+from repro.trees.cola import COLA, COLAConfig
+from repro.trees.lsm import LSMConfig, LSMTree
+from repro.trees.sizing import EntryFormat
+
+FMT = EntryFormat(value_bytes=12)
+
+
+class TestOptimizedBeTreeUnderPressure:
+    def test_tiny_cache_random_allocator(self):
+        """Every access misses; extents are scattered; nothing may break."""
+        stack = StorageStack(
+            NullDevice(), cache_bytes=2048, allocator_policy="random", allocator_seed=3
+        )
+        tree = OptimizedBeTree(
+            stack, BeTreeConfig(node_bytes=4096, fanout=4, fmt=FMT)
+        )
+        rng = np.random.default_rng(0)
+        ref = {}
+        for step in range(12_000):
+            k = int(rng.integers(0, 2500))
+            r = rng.random()
+            if r < 0.55:
+                tree.insert(k, k)
+                ref[k] = k
+            elif r < 0.8:
+                tree.delete(k)
+                ref.pop(k, None)
+            else:
+                assert tree.get(k) == ref.get(k)
+            if step % 4000 == 3999:
+                tree.check_invariants()
+                stack.cache.check_invariants()
+                stack.allocator.check_invariants()
+        assert dict(tree.items()) == ref
+
+    def test_periodic_weight_rebuilds_interleaved(self):
+        """Rebuilds in the middle of a mutation stream stay consistent."""
+        stack = StorageStack(NullDevice(), cache_bytes=1 << 16)
+        tree = OptimizedBeTree(
+            stack, BeTreeConfig(node_bytes=4096, fanout=4, fmt=FMT)
+        )
+        rng = np.random.default_rng(1)
+        ref = {}
+        for phase in range(5):
+            for _ in range(3000):
+                k = int(rng.integers(0, 5000))
+                if rng.random() < 0.7:
+                    tree.insert(k, k * 2)
+                    ref[k] = k * 2
+                else:
+                    tree.delete(k)
+                    ref.pop(k, None)
+            rebuild_weight_balance(tree, max_rebuilds=512)
+            check_weight_balance(tree)
+            tree.check_invariants()
+            assert dict(tree.items()) == ref
+
+    def test_hot_key_hammering(self):
+        """Thousands of operations on a handful of keys (message pileup)."""
+        stack = StorageStack(NullDevice(), cache_bytes=1 << 16)
+        tree = OptimizedBeTree(
+            stack, BeTreeConfig(node_bytes=4096, fanout=4, fmt=FMT)
+        )
+        rng = np.random.default_rng(2)
+        ref = {}
+        # Background fill so the hot keys travel through a real tree.
+        for k in range(0, 20_000, 10):
+            tree.insert(k, k)
+            ref[k] = k
+        hot = [3, 7, 11]
+        for _ in range(5000):
+            k = hot[int(rng.integers(0, len(hot)))]
+            r = rng.random()
+            if r < 0.4:
+                v = int(rng.integers(0, 100))
+                tree.insert(k, v)
+                ref[k] = v
+            elif r < 0.7:
+                tree.upsert(k, 1)
+                ref[k] = (ref.get(k) or 0) + 1
+            else:
+                tree.delete(k)
+                ref.pop(k, None)
+            assert tree.get(k) == ref.get(k)
+        tree.check_invariants()
+
+
+class TestBTreeUnderPressure:
+    def test_minimum_cache(self):
+        """Cache below one node: every touch is an IO, logic must hold."""
+        stack = StorageStack(NullDevice(), cache_bytes=512)
+        tree = BTree(stack, BTreeConfig(node_bytes=2048, fmt=FMT))
+        rng = np.random.default_rng(3)
+        ref = {}
+        for _ in range(6000):
+            k = int(rng.integers(0, 1500))
+            if rng.random() < 0.6:
+                tree.insert(k, k)
+                ref[k] = k
+            else:
+                assert tree.delete(k) == (k in ref)
+                ref.pop(k, None)
+        tree.check_invariants()
+        assert dict(tree.items()) == ref
+
+    def test_ascending_then_descending_then_random(self):
+        tree = BTree(StorageStack(NullDevice(), 1 << 20),
+                     BTreeConfig(node_bytes=1024, fmt=FMT))
+        ref = {}
+        for k in range(4000):
+            tree.insert(k, k)
+            ref[k] = k
+        for k in range(7999, 3999, -1):
+            tree.insert(k, k)
+            ref[k] = k
+        rng = np.random.default_rng(4)
+        for k in rng.integers(0, 8000, size=4000):
+            tree.delete(int(k))
+            ref.pop(int(k), None)
+        tree.check_invariants()
+        assert len(tree) == len(ref)
+
+
+class TestLogStructuresLongRun:
+    def test_lsm_many_compaction_generations(self):
+        dev = NullDevice(capacity_bytes=1 << 30)
+        lsm = LSMTree(dev, LSMConfig(
+            sstable_bytes=2048, memtable_bytes=2048, level1_bytes=8192,
+            l0_trigger=2, fmt=FMT,
+        ))
+        rng = np.random.default_rng(5)
+        ref = {}
+        for step in range(25_000):
+            k = int(rng.integers(0, 4000))
+            if rng.random() < 0.7:
+                lsm.insert(k, k)
+                ref[k] = k
+            else:
+                lsm.delete(k)
+                ref.pop(k, None)
+            if step % 10_000 == 9999:
+                lsm.check_invariants()
+        assert dict(lsm.items()) == ref
+        assert lsm.compactions > 20  # the run really exercised compaction
+
+    def test_cola_deep_merge_cascades(self):
+        cola = COLA(NullDevice(capacity_bytes=1 << 30),
+                    COLAConfig(fmt=FMT, ram_bytes=4096))
+        ref = {}
+        rng = np.random.default_rng(6)
+        for _ in range(20_000):
+            k = int(rng.integers(0, 3000))
+            if rng.random() < 0.7:
+                cola.insert(k, k)
+                ref[k] = k
+            else:
+                cola.delete(k)
+                ref.pop(k, None)
+        cola.check_invariants()
+        assert dict(cola.items()) == ref
+        assert len(cola.levels) >= 12  # 2^12+ logical slots were in play
+
+
+class TestAllocatorExhaustion:
+    def test_out_of_space_surfaces_cleanly(self):
+        from repro.errors import OutOfSpaceError
+
+        stack = StorageStack(NullDevice(capacity_bytes=1 << 16), cache_bytes=1 << 20)
+        tree = BTree(stack, BTreeConfig(node_bytes=4096, fmt=FMT))
+        with pytest.raises(OutOfSpaceError):
+            for k in range(100_000):
+                tree.insert(k, k)

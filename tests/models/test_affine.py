@@ -1,0 +1,60 @@
+"""Affine model unit tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.affine import AffineModel
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(ConfigurationError):
+            AffineModel(alpha=0)
+
+    def test_rejects_nonpositive_setup(self):
+        with pytest.raises(ConfigurationError):
+            AffineModel(alpha=0.1, setup_seconds=-1)
+
+    def test_from_hardware(self):
+        # Table 2 style: s = 12 ms, t = 35 us per 4K -> per byte.
+        t = 0.000035 / 4096
+        m = AffineModel.from_hardware(0.012, t)
+        assert m.alpha == pytest.approx(t / 0.012)
+        assert m.setup_seconds == 0.012
+        assert m.seconds_per_byte == pytest.approx(t)
+
+    def test_from_hardware_validation(self):
+        with pytest.raises(ConfigurationError):
+            AffineModel.from_hardware(0, 1e-9)
+
+
+class TestCost:
+    def test_definition_2(self):
+        # Definition 2: an IO of size x costs 1 + alpha*x.
+        m = AffineModel(alpha=0.001)
+        assert m.cost(0) == 1.0
+        assert m.cost(1000) == pytest.approx(2.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AffineModel(alpha=0.001).cost(-5)
+
+    def test_seconds(self):
+        m = AffineModel(alpha=0.001, setup_seconds=0.01)
+        # s + t*x with t = alpha * s.
+        assert m.seconds(1000) == pytest.approx(0.01 + 0.001 * 0.01 * 1000)
+
+    def test_half_bandwidth_point(self):
+        m = AffineModel(alpha=0.001)
+        assert m.half_bandwidth_bytes == pytest.approx(1000.0)
+        # At the half-bandwidth point, setup time equals transfer time.
+        assert m.cost(int(m.half_bandwidth_bytes)) == pytest.approx(2.0)
+
+    def test_batch_is_sum(self):
+        m = AffineModel(alpha=0.01)
+        assert m.batch_cost([100, 200]) == pytest.approx(m.cost(100) + m.cost(200))
+
+    def test_one_big_io_cheaper_than_many_small(self):
+        # The affine model's core claim: batching amortizes the setup.
+        m = AffineModel(alpha=1e-5)
+        assert m.cost(10_000) < m.batch_cost([1000] * 10)

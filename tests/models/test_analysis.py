@@ -1,0 +1,174 @@
+"""Tests for the Table 3 cost functions and the optimum corollaries."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.models.analysis import (
+    betree_insert_cost,
+    betree_query_cost_naive,
+    betree_query_cost_optimized,
+    betree_range_cost,
+    betree_speedup_over_btree,
+    betree_write_amplification,
+    btree_node_size_closed_form,
+    btree_op_cost,
+    btree_range_cost,
+    btree_write_amplification,
+    corollary7_stationarity_residual,
+    corollary11_io_overhead,
+    optimal_betree_params,
+    optimal_btree_node_size,
+    table3_row_betree,
+    table3_row_betree_sqrtB,
+    table3_row_btree,
+    uncached_height,
+)
+
+N, M = 1e9, 1e6
+
+
+class TestBasicCosts:
+    def test_btree_cost_formula(self):
+        # (1 + alpha*B) * log_{B+1}(N/M)
+        expected = (1 + 1e-4 * 100) * math.log(N / M) / math.log(101)
+        assert btree_op_cost(100, 1e-4, N, M) == pytest.approx(expected)
+
+    def test_uncached_height_floor(self):
+        assert uncached_height(10, 100, 2) == 1.0  # never below one level
+
+    def test_btree_range_adds_leaf_scans(self):
+        point = btree_op_cost(1000, 1e-4, N, M)
+        ranged = btree_range_cost(1000, 1e-4, N, M, ell=5000)
+        # 5000 items over 1000-entry leaves: 6 leaf IOs on top of the query.
+        assert ranged == pytest.approx(point + 6 * (1 + 1e-4 * 1000))
+
+    def test_betree_insert_faster_than_btree(self):
+        # The write-optimization claim, at matched node size.
+        B, alpha = 10_000, 1e-4
+        assert betree_insert_cost(B, math.sqrt(B), alpha, N, M) < btree_op_cost(B, alpha, N, M)
+
+    def test_betree_query_optimized_beats_naive(self):
+        B, F, alpha = 100_000, 100, 1e-4
+        assert betree_query_cost_optimized(B, F, alpha, N, M) < betree_query_cost_naive(
+            B, F, alpha, N, M
+        )
+
+    def test_betree_range_cost_positive_and_monotone(self):
+        B, F, alpha = 10_000, 100, 1e-4
+        c1 = betree_range_cost(B, F, alpha, N, M, ell=100)
+        c2 = betree_range_cost(B, F, alpha, N, M, ell=100_000)
+        assert 0 < c1 < c2
+
+    def test_write_amplifications(self):
+        assert btree_write_amplification(500) == 500
+        # Bε write amp ~ F * height, much smaller than B for big nodes.
+        assert betree_write_amplification(10_000, 100, N, M) < 500 * 10
+
+    @pytest.mark.parametrize("bad", [
+        lambda: btree_op_cost(1, 1e-4, N, M),        # B too small
+        lambda: btree_op_cost(100, -1, N, M),        # bad alpha
+        lambda: btree_op_cost(100, 1e-4, 10, 100),   # N <= M
+        lambda: betree_insert_cost(100, 1000, 1e-4, N, M),  # F > B
+        lambda: btree_range_cost(100, 1e-4, N, M, -1),       # bad ell
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ConfigurationError):
+            bad()
+
+
+class TestSensitivityShapes:
+    """The Table 3 qualitative claims, checked numerically."""
+
+    def test_btree_cost_grows_nearly_linearly_past_optimum(self):
+        alpha = 1e-4
+        b_star = optimal_btree_node_size(alpha)
+        c1 = btree_op_cost(10 * b_star, alpha, N, M)
+        c2 = btree_op_cost(100 * b_star, alpha, N, M)
+        # Ten times the node size -> nearly ten times the cost.
+        assert 5 < c2 / c1 < 11
+
+    def test_betree_insert_grows_like_sqrt(self):
+        alpha = 1e-4
+        big1, big2 = 1e6, 1e8
+        c1 = betree_insert_cost(big1, math.sqrt(big1), alpha, N, M)
+        c2 = betree_insert_cost(big2, math.sqrt(big2), alpha, N, M)
+        ratio = c2 / c1
+        # sqrt(100x) = 10x, modulo the log factor.
+        assert 3 < ratio < 12
+
+    def test_betree_less_sensitive_than_btree(self):
+        alpha = 1e-4
+        grid = [2**k for k in range(6, 21, 2)]
+        bt = [btree_op_cost(b, alpha, N, M) for b in grid]
+        bq = [
+            betree_query_cost_optimized(b, math.sqrt(b), alpha, N, M) for b in grid
+        ]
+        assert max(bt) / min(bt) > 5 * (max(bq) / min(bq))
+
+    def test_table3_rows(self):
+        r1 = table3_row_btree(1000, 1e-4, N, M)
+        r2 = table3_row_betree_sqrtB(1000, 1e-4, N, M)
+        r3 = table3_row_betree(1000, 10, 1e-4, N, M)
+        assert r1.insert_cost == r1.query_cost
+        assert r2.insert_cost < r1.insert_cost
+        assert r3.node_entries == 1000
+
+
+class TestCorollaries:
+    def test_corollary7_optimum_below_half_bandwidth(self):
+        for alpha in (1e-2, 1e-3, 1e-4, 1e-5):
+            assert optimal_btree_node_size(alpha) < 1.0 / alpha
+
+    def test_corollary7_closed_form_within_constant(self):
+        for alpha in (1e-2, 1e-3, 1e-4, 1e-5):
+            numeric = optimal_btree_node_size(alpha)
+            closed = btree_node_size_closed_form(alpha)
+            assert 0.5 < numeric / closed < 3.0
+
+    def test_corollary7_stationarity_at_optimum(self):
+        alpha = 1e-4
+        x = optimal_btree_node_size(alpha)
+        assert abs(corollary7_stationarity_residual(x, alpha)) < 1e-3
+
+    def test_numeric_optimum_is_a_minimum(self):
+        alpha = 1e-3
+        x = optimal_btree_node_size(alpha)
+        f = lambda b: btree_op_cost(b, alpha, N, M)  # noqa: E731
+        assert f(x) <= f(x * 0.8) and f(x) <= f(x * 1.25)
+
+    def test_corollary12_params(self):
+        F, B = optimal_betree_params(1e-4)
+        assert B == pytest.approx(F * F)
+        assert F == pytest.approx(btree_node_size_closed_form(1e-4))
+
+    def test_corollary12_query_matches_btree_to_low_order(self):
+        alpha = 1e-5
+        x_bt = optimal_btree_node_size(alpha)
+        F, B = optimal_betree_params(alpha)
+        bt = btree_op_cost(x_bt, alpha, N, M)
+        be = betree_query_cost_optimized(B, F, alpha, N, M)
+        assert be <= 1.5 * bt  # equal up to low-order terms
+
+    def test_corollary12_insert_speedup_grows_with_1_over_alpha(self):
+        s1 = betree_speedup_over_btree(1e-3, N, M)
+        s2 = betree_speedup_over_btree(1e-5, N, M)
+        assert s2 > s1 > 1.0
+
+    def test_corollary11_overhead_small_in_valid_regime(self):
+        # B = F^2 with F = 100, alpha = 1e-4: B/F*a + F*a = 0.01 + 0.01.
+        assert corollary11_io_overhead(1e4, 100, 1e-4) == pytest.approx(0.02)
+
+    @given(st.floats(min_value=1e-6, max_value=0.05))
+    @settings(max_examples=30, deadline=None)
+    def test_optimum_below_half_bandwidth_property(self, alpha):
+        assert optimal_btree_node_size(alpha) < 1.0 / alpha
+
+    @given(st.floats(min_value=1e-6, max_value=0.05))
+    @settings(max_examples=30, deadline=None)
+    def test_speedup_always_exceeds_one(self, alpha):
+        assert betree_speedup_over_btree(alpha, N, M) > 1.0

@@ -1,0 +1,80 @@
+"""Tests for the asymmetric-cost analysis extensions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.models.analysis import (
+    betree_insert_cost,
+    betree_query_cost_optimized,
+    mixed_workload_cost,
+    optimal_fanout_asymmetric,
+)
+
+B, ALPHA, N, M = 10_000, 1e-4, 1e9, 1e6
+
+
+class TestMixedWorkloadCost:
+    def test_pure_query_mix_is_query_cost(self):
+        c = mixed_workload_cost(B, 100, ALPHA, N, M, query_fraction=1.0)
+        assert c == pytest.approx(betree_query_cost_optimized(B, 100, ALPHA, N, M))
+
+    def test_pure_insert_mix_scales_with_writes(self):
+        c1 = mixed_workload_cost(B, 100, ALPHA, N, M, query_fraction=0.0)
+        c5 = mixed_workload_cost(
+            B, 100, ALPHA, N, M, query_fraction=0.0, write_cost_multiplier=5.0
+        )
+        assert c5 == pytest.approx(5 * c1)
+        assert c1 == pytest.approx(betree_insert_cost(B, 100, ALPHA, N, M))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mixed_workload_cost(B, 100, ALPHA, N, M, query_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            mixed_workload_cost(B, 100, ALPHA, N, M, write_cost_multiplier=0)
+
+
+class TestOptimalFanout:
+    def test_is_a_minimum(self):
+        f = optimal_fanout_asymmetric(B, ALPHA, N, M)
+        c = mixed_workload_cost(B, f, ALPHA, N, M)
+        assert c <= mixed_workload_cost(B, f * 0.7, ALPHA, N, M)
+        assert c <= mixed_workload_cost(B, min(B, f * 1.4), ALPHA, N, M)
+
+    def test_falls_with_write_cost(self):
+        f1 = optimal_fanout_asymmetric(B, ALPHA, N, M, write_cost_multiplier=1.0)
+        f10 = optimal_fanout_asymmetric(B, ALPHA, N, M, write_cost_multiplier=10.0)
+        assert f10 < f1
+
+    def test_rises_with_query_fraction(self):
+        f_writes = optimal_fanout_asymmetric(B, ALPHA, N, M, query_fraction=0.1)
+        f_reads = optimal_fanout_asymmetric(B, ALPHA, N, M, query_fraction=0.9)
+        assert f_reads > f_writes
+
+    @given(st.floats(min_value=1.0, max_value=50.0))
+    @settings(max_examples=30, deadline=None)
+    def test_always_in_valid_range(self, w):
+        f = optimal_fanout_asymmetric(B, ALPHA, N, M, write_cost_multiplier=w)
+        assert 2.0 <= f <= B
+
+
+class TestAsymmetricDevice:
+    def test_write_multiplier_applies_to_writes_only(self):
+        from repro.models.affine import AffineModel
+        from repro.storage.ideal import AffineDevice
+
+        dev = AffineDevice(
+            AffineModel(alpha=1e-6, setup_seconds=0.01), write_multiplier=3.0
+        )
+        r = dev.read(0, 1000)
+        w = dev.write(0, 1000)
+        assert w == pytest.approx(3 * r)
+
+    def test_rejects_bad_multiplier(self):
+        from repro.errors import ConfigurationError
+        from repro.models.affine import AffineModel
+        from repro.storage.ideal import AffineDevice
+
+        with pytest.raises(ConfigurationError):
+            AffineDevice(AffineModel(alpha=1e-6), write_multiplier=0)

@@ -1,0 +1,67 @@
+"""DAM model unit tests."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.dam import DAMModel
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_block(self):
+        with pytest.raises(ConfigurationError):
+            DAMModel(block_bytes=0)
+
+    def test_rejects_nonpositive_setup(self):
+        with pytest.raises(ConfigurationError):
+            DAMModel(block_bytes=4096, setup_seconds=0)
+
+
+class TestCost:
+    def test_single_block_costs_one(self):
+        m = DAMModel(block_bytes=4096)
+        assert m.cost(1) == 1.0
+        assert m.cost(4096) == 1.0
+
+    def test_multi_block_ceiling(self):
+        m = DAMModel(block_bytes=4096)
+        assert m.cost(4097) == 2.0
+        assert m.cost(3 * 4096) == 3.0
+
+    def test_zero_bytes_is_free(self):
+        assert DAMModel(block_bytes=4096).cost(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DAMModel(block_bytes=4096).cost(-1)
+
+    def test_seconds_scale_with_setup(self):
+        m = DAMModel(block_bytes=4096, setup_seconds=0.01)
+        assert m.seconds(4096) == pytest.approx(0.01)
+        assert m.seconds(2 * 4096) == pytest.approx(0.02)
+
+    def test_batch_cost_sums(self):
+        m = DAMModel(block_bytes=4096)
+        assert m.batch_cost([4096, 8192, 1]) == 4.0
+
+
+class TestHalfBandwidthConstruction:
+    def test_block_at_half_bandwidth_point(self):
+        # s = 10 ms, t = 1 us/byte -> half-bandwidth B = 10000 bytes.
+        m = DAMModel.at_half_bandwidth_point(0.01, 1e-6)
+        assert m.block_bytes == 10000
+
+    def test_block_seconds_double_setup(self):
+        # Each block transfer spends s on setup and s on bandwidth.
+        m = DAMModel.at_half_bandwidth_point(0.01, 1e-6)
+        assert m.setup_seconds == pytest.approx(0.02)
+
+    def test_rejects_bad_hardware(self):
+        with pytest.raises(ConfigurationError):
+            DAMModel.at_half_bandwidth_point(0, 1e-6)
+
+    def test_blocks_helper_matches_cost(self):
+        m = DAMModel(block_bytes=1000)
+        for n in (1, 999, 1000, 1001, 12345):
+            assert m.cost(n) == float(m.blocks(n)) == math.ceil(n / 1000)

@@ -1,0 +1,65 @@
+"""PDAM model unit tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.pdam import PDAMModel
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("kwargs", [
+        dict(parallelism=0, block_bytes=4096),
+        dict(parallelism=4, block_bytes=0),
+        dict(parallelism=4, block_bytes=4096, step_seconds=0),
+    ])
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PDAMModel(**kwargs)
+
+    def test_fractional_parallelism_allowed(self):
+        # The paper fits P = 3.3 for the Samsung 860 pro.
+        m = PDAMModel(parallelism=3.3, block_bytes=4096)
+        assert m.parallelism == 3.3
+
+
+class TestSteps:
+    def test_definition_1(self):
+        # Definition 1: up to P block IOs per step.
+        m = PDAMModel(parallelism=4, block_bytes=4096)
+        assert m.steps(0) == 0
+        assert m.steps(4) == 1
+        assert m.steps(5) == 2
+        assert m.steps(17) == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PDAMModel(parallelism=4, block_bytes=4096).steps(-1)
+
+    def test_single_large_io_stripes(self):
+        m = PDAMModel(parallelism=4, block_bytes=4096)
+        assert m.cost(4 * 4096) == 1.0
+        assert m.cost(5 * 4096) == 2.0
+
+    def test_sequential_scan_time(self):
+        # A scan of N bytes takes N/(P*B) steps (paper Section 2.2).
+        m = PDAMModel(parallelism=8, block_bytes=4096)
+        n = 8 * 4096 * 100
+        assert m.cost(n) == 100.0
+
+    def test_dependent_chain_gets_no_parallelism(self):
+        # A root-to-leaf walk cannot use the P slots (Section 8).
+        m = PDAMModel(parallelism=64, block_bytes=4096)
+        assert m.dependent_chain_steps(5) == 5
+
+    def test_batch_cost_fills_slots(self):
+        m = PDAMModel(parallelism=4, block_bytes=4096)
+        # 3 IOs of 2 blocks each = 6 blocks = 2 steps.
+        assert m.batch_cost([8192, 8192, 8192]) == 2.0
+
+    def test_saturation_throughput(self):
+        m = PDAMModel(parallelism=4, block_bytes=4096, step_seconds=0.001)
+        assert m.saturation_bytes_per_second == pytest.approx(4 * 4096 / 0.001)
+
+    def test_seconds_scale_with_step(self):
+        m = PDAMModel(parallelism=2, block_bytes=4096, step_seconds=0.5)
+        assert m.seconds(3 * 4096) == pytest.approx(1.0)

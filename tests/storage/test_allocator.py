@@ -1,0 +1,123 @@
+"""Extent-allocator tests, including hypothesis property checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, InvalidIOError, OutOfSpaceError
+from repro.storage.allocator import ExtentAllocator
+
+
+class TestBasics:
+    def test_first_fit_is_sequential_initially(self):
+        a = ExtentAllocator(10_000)
+        assert a.alloc(100) == 0
+        assert a.alloc(100) == 100
+        assert a.alloc(100) == 200
+
+    def test_alignment(self):
+        a = ExtentAllocator(10_000, alignment=512)
+        assert a.alloc(100) == 0
+        assert a.alloc(100) == 512  # rounded up
+        assert a.used_bytes == 1024
+
+    def test_out_of_space(self):
+        a = ExtentAllocator(1000)
+        a.alloc(900)
+        with pytest.raises(OutOfSpaceError):
+            a.alloc(200)
+
+    def test_free_and_reuse(self):
+        a = ExtentAllocator(1000)
+        off = a.alloc(400)
+        a.alloc(400)
+        a.free(off, 400)
+        assert a.alloc(300) == off  # first fit reuses the hole
+
+    def test_coalescing(self):
+        a = ExtentAllocator(1000)
+        o1 = a.alloc(300)
+        o2 = a.alloc(300)
+        o3 = a.alloc(300)
+        a.free(o1, 300)
+        a.free(o3, 300)
+        a.free(o2, 300)  # merges with both neighbours
+        assert a.largest_free_extent == 1000
+        assert a.fragmentation == 0.0
+
+    def test_double_free_rejected(self):
+        a = ExtentAllocator(1000)
+        off = a.alloc(100)
+        a.free(off, 100)
+        with pytest.raises(InvalidIOError):
+            a.free(off, 100)
+
+    def test_overlapping_free_rejected(self):
+        a = ExtentAllocator(1000)
+        a.alloc(500)
+        a.free(0, 300)
+        with pytest.raises(InvalidIOError):
+            a.free(200, 200)
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            ExtentAllocator(0)
+        with pytest.raises(ConfigurationError):
+            ExtentAllocator(100, policy="weird")
+        with pytest.raises(InvalidIOError):
+            ExtentAllocator(100).alloc(0)
+        with pytest.raises(InvalidIOError):
+            ExtentAllocator(100).free(0, -1)
+
+
+class TestRandomPolicy:
+    def test_scatters_allocations(self):
+        a = ExtentAllocator(1 << 24, policy="random", seed=1)
+        offsets = [a.alloc(4096) for _ in range(20)]
+        # Random placement should not be the sequential prefix.
+        assert offsets != sorted(offsets)
+
+    def test_deterministic_given_seed(self):
+        a1 = ExtentAllocator(1 << 20, policy="random", seed=5)
+        a2 = ExtentAllocator(1 << 20, policy="random", seed=5)
+        assert [a1.alloc(1000) for _ in range(10)] == [a2.alloc(1000) for _ in range(10)]
+
+    def test_random_policy_keeps_invariants(self):
+        a = ExtentAllocator(1 << 20, policy="random", seed=3)
+        live = []
+        rng = np.random.default_rng(4)
+        for _ in range(300):
+            if live and rng.random() < 0.4:
+                off, size = live.pop(int(rng.integers(0, len(live))))
+                a.free(off, size)
+            else:
+                size = int(rng.integers(1, 5000))
+                live.append((a.alloc(size), size))
+            a.check_invariants()
+
+
+class TestPropertyBased:
+    @given(st.lists(st.integers(1, 500), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_allocations_never_overlap(self, sizes):
+        a = ExtentAllocator(1 << 20, alignment=1)
+        extents = sorted((a.alloc(s), s) for s in sizes)
+        for (o1, s1), (o2, _) in zip(extents, extents[1:]):
+            assert o1 + s1 <= o2
+        a.check_invariants()
+
+    @given(
+        st.lists(st.integers(1, 500), min_size=1, max_size=40),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_alloc_free_roundtrip_restores_all_space(self, sizes, pyrng):
+        a = ExtentAllocator(1 << 20, alignment=1)
+        live = [(a.alloc(s), s) for s in sizes]
+        pyrng.shuffle(live)
+        for off, s in live:
+            a.free(off, s)
+        assert a.free_bytes == 1 << 20
+        assert a.largest_free_extent == 1 << 20
+        a.check_invariants()

@@ -1,0 +1,228 @@
+"""Buffer-cache tests: LRU, dirty write-back, pinning, accounting."""
+
+import pytest
+
+from repro.errors import CacheError, ConfigurationError
+from repro.storage.cache import BufferCache
+from repro.storage.ram import ConstantLatencyDevice
+
+
+def make(capacity=1000, latency=1.0):
+    dev = ConstantLatencyDevice(latency, capacity_bytes=1 << 20)
+    return BufferCache(dev, capacity), dev
+
+
+class TestBasics:
+    def test_insert_and_get_hit(self):
+        cache, dev = make()
+        cache.insert("a", {"x": 1}, offset=0, nbytes=100)
+        assert cache.get("a") == {"x": 1}
+        assert cache.stats.hits == 1 and cache.stats.misses == 0
+        assert dev.stats.reads == 0
+
+    def test_unknown_id_rejected(self):
+        cache, _ = make()
+        with pytest.raises(CacheError):
+            cache.get("nope")
+
+    def test_duplicate_insert_rejected(self):
+        cache, _ = make()
+        cache.insert("a", 1, 0, 10)
+        with pytest.raises(CacheError):
+            cache.insert("a", 2, 0, 10)
+
+    def test_bad_capacity(self):
+        dev = ConstantLatencyDevice(0.0)
+        with pytest.raises(ConfigurationError):
+            BufferCache(dev, 0)
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache, dev = make(capacity=250)
+        for name in "abc":
+            cache.insert(name, name, 0, 100)  # c's insert evicts a
+        assert not cache.contains("a")
+        assert cache.contains("b") and cache.contains("c")
+
+    def test_access_refreshes_lru(self):
+        cache, _ = make(capacity=250)
+        cache.insert("a", "a", 0, 100)
+        cache.insert("b", "b", 100, 100)
+        cache.get("a")                       # a is now MRU
+        cache.insert("c", "c", 200, 100)     # evicts b
+        assert cache.contains("a") and not cache.contains("b")
+
+    def test_clean_eviction_free(self):
+        cache, dev = make(capacity=250)
+        cache.insert("a", "a", 0, 100, dirty=False)
+        cache.insert("b", "b", 100, 100, dirty=False)
+        cache.insert("c", "c", 200, 100, dirty=False)
+        assert dev.stats.writes == 0
+
+    def test_dirty_eviction_writes_back(self):
+        cache, dev = make(capacity=250)
+        cache.insert("a", "a", 0, 100, dirty=True)
+        cache.insert("b", "b", 100, 100, dirty=False)
+        cache.insert("c", "c", 200, 100, dirty=False)
+        assert dev.stats.writes == 1
+        assert dev.stats.bytes_written == 100
+        assert cache.stats.dirty_evictions == 1
+
+    def test_miss_rereads_from_device(self):
+        cache, dev = make(capacity=250)
+        cache.insert("a", "va", 0, 100, dirty=False)
+        cache.insert("b", "vb", 100, 100, dirty=False)
+        cache.insert("c", "vc", 200, 100, dirty=False)  # evicts a
+        assert cache.get("a") == "va"                   # read back
+        assert dev.stats.reads == 1
+        assert cache.stats.misses == 1
+
+    def test_single_oversized_entry_held(self):
+        cache, _ = make(capacity=50)
+        cache.insert("big", "x", 0, 500)
+        assert cache.contains("big")  # at least one entry always resident
+
+
+class TestDirtyAndExtents:
+    def test_mark_dirty_then_evict_writes(self):
+        cache, dev = make(capacity=250)
+        cache.insert("a", "a", 0, 100, dirty=False)
+        cache.mark_dirty("a")
+        cache.insert("b", "b", 100, 100, dirty=False)
+        cache.insert("c", "c", 200, 100, dirty=False)
+        assert dev.stats.writes == 1
+
+    def test_mark_dirty_nonresident_rejected(self):
+        cache, _ = make()
+        with pytest.raises(CacheError):
+            cache.mark_dirty("ghost")
+
+    def test_mark_clean(self):
+        cache, dev = make(capacity=250)
+        cache.insert("a", "a", 0, 100, dirty=True)
+        cache.mark_clean("a")
+        cache.insert("b", "b", 100, 100)
+        cache.insert("c", "c", 200, 100)
+        assert dev.stats.writes == 0 or dev.stats.bytes_written < 300
+
+    def test_update_extent(self):
+        cache, _ = make()
+        cache.insert("a", "a", 0, 100)
+        cache.update_extent("a", 500, 300)
+        assert cache.extent_of("a") == (500, 300)
+        assert cache.cached_bytes == 300
+
+    def test_extent_of_on_disk(self):
+        cache, _ = make(capacity=150)
+        cache.insert("a", "a", 0, 100, dirty=False)
+        cache.insert("b", "b", 100, 100, dirty=False)  # evicts a
+        assert cache.extent_of("a") == (0, 100)
+
+    def test_admit_no_charge(self):
+        cache, dev = make()
+        cache.admit("a", "va", 0, 100, dirty=False)
+        assert cache.contains("a")
+        assert dev.stats.reads == 0
+        cache.admit("a", "va2", 0, 200, dirty=True)  # refresh in place
+        assert cache.get("a") == "va2"
+        assert cache.cached_bytes == 200
+
+    def test_flush_writes_all_dirty(self):
+        cache, dev = make()
+        cache.insert("a", "a", 0, 100, dirty=True)
+        cache.insert("b", "b", 100, 150, dirty=True)
+        cache.insert("c", "c", 250, 100, dirty=False)
+        spent = cache.flush()
+        assert dev.stats.writes == 2
+        assert spent == pytest.approx(2.0)
+        # Second flush is a no-op.
+        assert cache.flush() == 0.0
+
+    def test_drop_clean_empties_cache(self):
+        cache, dev = make()
+        cache.insert("a", "a", 0, 100, dirty=True)
+        cache.drop_clean()
+        assert len(cache) == 0
+        assert dev.stats.writes == 1  # dirty write-back on the way out
+        assert cache.get("a") == "a"  # still reachable from disk
+
+
+class TestPinning:
+    def test_pinned_survives_pressure(self):
+        cache, _ = make(capacity=250)
+        cache.insert("a", "a", 0, 100)
+        cache.pin("a")
+        cache.insert("b", "b", 100, 100)
+        cache.insert("c", "c", 200, 100)
+        assert cache.contains("a")
+        cache.unpin("a")
+
+    def test_unpin_unpinned_rejected(self):
+        cache, _ = make()
+        cache.insert("a", "a", 0, 100)
+        with pytest.raises(CacheError):
+            cache.unpin("a")
+
+    def test_all_pinned_over_budget_raises(self):
+        cache, _ = make(capacity=200)
+        cache.insert("a", "a", 0, 100)
+        cache.pin("a")
+        cache.insert("b", "b", 100, 90)
+        cache.pin("b")
+        # Growing a pinned entry pushes the cache over budget with every
+        # entry pinned: no victim exists.
+        with pytest.raises(CacheError):
+            cache.update_extent("b", 100, 150)
+
+
+class TestDelete:
+    def test_delete_resident_no_write(self):
+        cache, dev = make()
+        cache.insert("a", "a", 0, 100, dirty=True)
+        cache.delete("a")
+        assert dev.stats.writes == 0
+        with pytest.raises(CacheError):
+            cache.get("a")
+
+    def test_delete_on_disk(self):
+        cache, _ = make(capacity=150)
+        cache.insert("a", "a", 0, 100, dirty=False)
+        cache.insert("b", "b", 100, 100, dirty=False)
+        cache.delete("a")
+        with pytest.raises(CacheError):
+            cache.extent_of("a")
+
+    def test_delete_unknown_rejected(self):
+        cache, _ = make()
+        with pytest.raises(CacheError):
+            cache.delete("ghost")
+
+
+class TestAccounting:
+    def test_hit_rate(self):
+        cache, _ = make()
+        cache.insert("a", "a", 0, 100)
+        cache.get("a")
+        cache.get("a")
+        assert cache.stats.hit_rate == 1.0
+        assert cache.stats.accesses == 2
+
+    def test_invariants_hold_through_churn(self):
+        cache, _ = make(capacity=350)
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        cache.insert(0, "v0", 0, 100)
+        known = {0}
+        for i in range(1, 200):
+            op = rng.integers(0, 3)
+            if op == 0:
+                cache.insert(i, f"v{i}", i * 100, int(rng.integers(50, 150)))
+                known.add(i)
+            elif op == 1 and known:
+                cache.get(int(rng.choice(list(known))))
+            elif op == 2 and known and cache.contains(next(iter(known))):
+                target = next(iter(known))
+                cache.mark_dirty(target) if cache.contains(target) else None
+            cache.check_invariants()

@@ -1,0 +1,100 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.storage.engine import ClosedLoopRunner, Resource, ResourcePool
+
+
+class TestResource:
+    def test_idle_job_starts_immediately(self):
+        r = Resource()
+        assert r.acquire(5.0, 2.0) == 7.0
+
+    def test_busy_job_queues(self):
+        r = Resource()
+        r.acquire(0.0, 10.0)
+        assert r.acquire(3.0, 2.0) == 12.0  # waits until t=10
+
+    def test_busy_accounting(self):
+        r = Resource()
+        r.acquire(0.0, 3.0)
+        r.acquire(0.0, 4.0)
+        assert r.busy_seconds == 7.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Resource().acquire(0.0, -1.0)
+
+    def test_peek_does_not_reserve(self):
+        r = Resource()
+        r.acquire(0.0, 5.0)
+        assert r.peek_start(1.0) == 5.0
+        assert r.available_at == 5.0
+
+    def test_reset(self):
+        r = Resource()
+        r.acquire(0.0, 5.0)
+        r.reset()
+        assert r.available_at == 0.0 and r.busy_seconds == 0.0
+
+
+class TestResourcePool:
+    def test_independent_resources(self):
+        pool = ResourcePool(3)
+        pool[0].acquire(0.0, 5.0)
+        assert pool[1].acquire(0.0, 1.0) == 1.0
+
+    def test_len_and_busy(self):
+        pool = ResourcePool(2)
+        pool[0].acquire(0.0, 2.0)
+        pool[1].acquire(0.0, 3.0)
+        assert len(pool) == 2
+        assert pool.busy_seconds == 5.0
+        assert pool.max_available_at == 3.0
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResourcePool(0)
+
+
+class TestClosedLoopRunner:
+    def test_single_client_serial(self):
+        r = Resource()
+        runner = ClosedLoopRunner(lambda req, at: r.acquire(at, req))
+        finish = runner.run([[1.0, 2.0, 3.0]])
+        assert finish == [6.0]
+
+    def test_two_clients_share_one_resource(self):
+        r = Resource()
+        runner = ClosedLoopRunner(lambda req, at: r.acquire(at, req))
+        makespan = runner.run_makespan([[1.0] * 5, [1.0] * 5])
+        assert makespan == pytest.approx(10.0)  # fully serialized
+
+    def test_two_clients_on_independent_resources(self):
+        pool = ResourcePool(2)
+        runner = ClosedLoopRunner(lambda req, at: pool[req[0]].acquire(at, req[1]))
+        makespan = runner.run_makespan([[(0, 1.0)] * 5, [(1, 1.0)] * 5])
+        assert makespan == pytest.approx(5.0)  # perfectly parallel
+
+    def test_closed_loop_ordering(self):
+        # Each client's requests are strictly sequential.
+        log = []
+
+        def service(req, at):
+            log.append((req, at))
+            return at + 1.0
+
+        ClosedLoopRunner(service).run([["a1", "a2"], ["b1"]])
+        assert log[0][0] in ("a1", "b1")
+        a_times = [at for req, at in log if req.startswith("a")]
+        assert a_times == sorted(a_times)
+
+    def test_empty_streams_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClosedLoopRunner(lambda r, t: t).run([])
+
+    def test_backwards_service_rejected(self):
+        runner = ClosedLoopRunner(lambda req, at: at - 1.0)
+        with pytest.raises(ConfigurationError):
+            runner.run([[1]])

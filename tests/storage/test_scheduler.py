@@ -1,0 +1,121 @@
+"""PDAM read-ahead scheduler tests (the Section 8 strategy)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, InvalidIOError
+from repro.models.pdam import PDAMModel
+from repro.storage.ideal import PDAMDevice
+from repro.storage.scheduler import ReadAheadScheduler
+
+
+def make(P=4, expand=True):
+    dev = PDAMDevice(PDAMModel(parallelism=P, block_bytes=4096), capacity_bytes=1 << 24)
+    return ReadAheadScheduler(dev, expand_readahead=expand), dev
+
+
+class TestBasics:
+    def test_step_without_demands_rejected(self):
+        sched, _ = make()
+        with pytest.raises(ConfigurationError):
+            sched.step()
+
+    def test_negative_block_rejected(self):
+        sched, _ = make()
+        with pytest.raises(ConfigurationError):
+            sched.submit("c", -1)
+
+    def test_single_demand_single_step(self):
+        sched, dev = make()
+        sched.submit("c", 10)
+        served = sched.step()
+        assert 10 in served["c"]
+        assert dev.steps_elapsed == 1
+        assert sched.pending == 0
+
+
+class TestReadAhead:
+    def test_lone_client_gets_full_expansion(self):
+        # "the system expands that to P blocks, effectively loading the
+        # entire node into cache."
+        sched, dev = make(P=4)
+        sched.submit("c", 10)
+        served = sched.step()
+        assert served["c"] == [10, 11, 12, 13]
+        assert dev.slots_wasted == 0
+
+    def test_two_clients_split_expansion(self):
+        # "two one-block IO requests, which it will expand into two runs of
+        # P/2 blocks each."
+        sched, _ = make(P=4)
+        sched.submit("a", 10)
+        sched.submit("b", 50)
+        served = sched.step()
+        assert served["a"] == [10, 11]
+        assert served["b"] == [50, 51]
+
+    def test_uneven_split(self):
+        sched, _ = make(P=4)
+        for name, blk in (("a", 0), ("b", 100), ("c", 200)):
+            sched.submit(name, blk)
+        served = sched.step()
+        total = sum(len(b) for b in served.values())
+        assert total == 4
+        # Round-robin: exactly one client got one extra block.
+        lengths = sorted(len(b) for b in served.values())
+        assert lengths == [1, 1, 2]
+
+    def test_expansion_stops_at_device_end(self):
+        sched, dev = make(P=4)
+        last_block = dev.capacity_bytes // dev.block_bytes - 1
+        sched.submit("c", last_block)
+        served = sched.step()
+        assert served["c"] == [last_block]
+
+    def test_no_expansion_when_disabled(self):
+        sched, dev = make(P=4, expand=False)
+        sched.submit("c", 10)
+        served = sched.step()
+        assert served["c"] == [10]
+        assert dev.slots_wasted == 3
+
+
+class TestOversubscription:
+    def test_fifo_when_clients_exceed_p(self):
+        sched, _ = make(P=2)
+        for i in range(5):
+            sched.submit(f"c{i}", i * 10)
+        first = sched.step()
+        assert set(first) == {"c0", "c1"}
+        second = sched.step()
+        assert set(second) == {"c2", "c3"}
+        assert sched.pending == 1
+
+    def test_steps_counter(self):
+        sched, _ = make(P=1)
+        for i in range(3):
+            sched.submit("c", i)
+        while sched.pending:
+            sched.step()
+        assert sched.steps == 3
+
+
+class TestAgainstNaive:
+    def test_readahead_never_slower(self):
+        # With k=1, read-ahead turns 4 dependent fetches of consecutive
+        # blocks into 1 step instead of 4.
+        sched, dev = make(P=4)
+        blocks = [100, 101, 102, 103]
+        got: set[int] = set()
+        i = 0
+        while i < len(blocks):
+            sched.submit("c", blocks[i])
+            got.update(sched.step()["c"])
+            while i < len(blocks) and blocks[i] in got:
+                i += 1
+        assert dev.steps_elapsed == 1
+
+        sched2, dev2 = make(P=4, expand=False)
+        for b in blocks:
+            sched2.submit("c", b)
+            sched2.step()
+        assert dev2.steps_elapsed == 4

@@ -1,0 +1,140 @@
+"""Simulated SSD tests: address mapping, pipelining, parallelism, conflicts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.storage.device import ReadRequest, WriteRequest
+from repro.storage.ssd import SSDGeometry, SimulatedSSD
+
+
+def make(**kwargs):
+    defaults = dict(capacity_bytes=1 << 30, channels=2, dies_per_channel=2)
+    defaults.update(kwargs)
+    return SimulatedSSD(SSDGeometry(**defaults))
+
+
+class TestGeometry:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SSDGeometry(stripe_bytes=1000, page_bytes=4096)  # stripe < page
+        with pytest.raises(ConfigurationError):
+            SSDGeometry(stripe_bytes=5000, page_bytes=4096)  # not a multiple
+        with pytest.raises(ConfigurationError):
+            SSDGeometry(channels=0)
+        with pytest.raises(ConfigurationError):
+            SSDGeometry(page_read_seconds=0)
+
+    def test_total_dies(self):
+        assert SSDGeometry(channels=2, dies_per_channel=4).total_dies == 8
+
+    def test_derived_rates(self):
+        g = SSDGeometry(channels=2, dies_per_channel=8)
+        assert g.saturated_read_bytes_per_second > 0
+        assert g.expected_pdam_parallelism > 1.0
+
+
+class TestAddressMapping:
+    def test_stripe_maps_to_one_die(self):
+        ssd = make()
+        plan = ssd._page_plan(0, 65536)
+        assert len(plan) == 1
+        die, pages = plan[0]
+        assert pages == 16
+
+    def test_cross_stripe_io_touches_two_dies(self):
+        ssd = make()
+        plan = ssd._page_plan(65536 - 4096, 8192)
+        assert len(plan) == 2
+        assert plan[0][0] != plan[1][0]
+
+    def test_round_robin_die_assignment(self):
+        ssd = make()
+        dies = [ssd.die_of_stripe(i) for i in range(8)]
+        assert dies == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_channel_of_die(self):
+        ssd = make()
+        assert {ssd.channel_of_die(d) for d in range(4)} == {0, 1}
+
+
+class TestTiming:
+    def test_single_page_read_time(self):
+        ssd = make()
+        g = ssd.geometry
+        t = ssd.read(0, 4096)
+        assert t == pytest.approx(g.page_read_seconds + g.channel_transfer_seconds)
+
+    def test_pipelined_stripe_read(self):
+        ssd = make()
+        g = ssd.geometry
+        t = ssd.read(0, 65536)  # 16 pages on one die
+        # Die reads dominate; the final transfer trails the last read.
+        assert t == pytest.approx(16 * g.page_read_seconds + g.channel_transfer_seconds)
+
+    def test_write_slower_than_read(self):
+        s1, s2 = make(), make()
+        assert s1.write(0, 65536) > s2.read(0, 65536)
+
+    def test_two_requests_same_die_serialize(self):
+        ssd = make()
+        r = ReadRequest(0, 65536)
+        t1 = ssd.service_request(r, 0.0)
+        # Same stripe -> same die: starts after the first die work ends.
+        t2 = ssd.service_request(ReadRequest(0, 65536), 0.0)
+        assert t2 >= 2 * 16 * ssd.geometry.page_read_seconds
+        assert t1 < t2
+
+    def test_two_requests_distinct_dies_parallel(self):
+        ssd = make()
+        t1 = ssd.service_request(ReadRequest(0, 65536), 0.0)
+        t2 = ssd.service_request(ReadRequest(65536, 65536), 0.0)
+        # Different dies, different channels: fully parallel.
+        assert t2 == pytest.approx(t1)
+
+    def test_write_request_counted(self):
+        ssd = make()
+        ssd.service_request(WriteRequest(0, 4096), 0.0)
+        assert ssd.stats.writes == 1 and ssd.stats.bytes_written == 4096
+
+    def test_unknown_request_type_rejected(self):
+        ssd = make()
+        with pytest.raises(ConfigurationError):
+            ssd.service_request("nope", 0.0)
+
+
+class TestClosedLoop:
+    def _streams(self, ssd, p, n_requests=32, seed=0):
+        rng = np.random.default_rng(seed)
+        stripes = ssd.capacity_bytes // ssd.geometry.stripe_bytes
+        out = []
+        for _ in range(p):
+            offs = rng.integers(0, stripes, size=n_requests) * ssd.geometry.stripe_bytes
+            out.append([ReadRequest(int(o), ssd.geometry.stripe_bytes) for o in offs])
+        return out
+
+    def test_flat_then_linear(self):
+        # The Figure 1 shape: sub-linear growth below the knee,
+        # ~linear growth once the device is saturated.
+        times = {}
+        for p in (1, 2, 32, 64):
+            ssd = make(channels=2, dies_per_channel=4)
+            times[p] = ssd.run_closed_loop(self._streams(ssd, p, n_requests=64))
+        assert times[2] < 1.5 * times[1]          # near-flat early
+        assert times[64] == pytest.approx(2 * times[32], rel=0.15)  # linear late
+
+    def test_makespan_increases_with_demand(self):
+        ssd = make()
+        t4 = ssd.run_closed_loop(self._streams(ssd, 4))
+        ssd.reset()
+        t8 = ssd.run_closed_loop(self._streams(ssd, 8))
+        assert t8 > t4
+
+    def test_reset_clears_resources(self):
+        ssd = make()
+        ssd.run_closed_loop(self._streams(ssd, 2))
+        ssd.reset()
+        assert ssd.clock == 0.0 and ssd.stats.ios == 0
+        t = ssd.read(0, 4096)
+        g = ssd.geometry
+        assert t == pytest.approx(g.page_read_seconds + g.channel_transfer_seconds)

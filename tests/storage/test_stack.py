@@ -1,0 +1,73 @@
+"""StorageStack integration tests."""
+
+import pytest
+
+from repro.errors import CacheError, ConfigurationError
+from repro.storage.ram import ConstantLatencyDevice
+from repro.storage.stack import StorageStack
+
+
+def make(cache_bytes=1000, latency=1.0):
+    dev = ConstantLatencyDevice(latency, capacity_bytes=1 << 20)
+    return StorageStack(dev, cache_bytes, alignment=1), dev
+
+
+class TestLifecycle:
+    def test_create_get_destroy(self):
+        stack, dev = make()
+        stack.create("n1", {"k": 1}, 100)
+        assert stack.get("n1") == {"k": 1}
+        stack.destroy("n1")
+        with pytest.raises(CacheError):
+            stack.get("n1")
+
+    def test_destroy_releases_extent(self):
+        stack, _ = make()
+        stack.create("n1", "x", 100)
+        used = stack.allocator.used_bytes
+        stack.destroy("n1")
+        assert stack.allocator.used_bytes == used - 100
+
+    def test_io_seconds_accumulates(self):
+        stack, dev = make(cache_bytes=150)
+        stack.create("a", "a", 100)
+        stack.create("b", "b", 100)  # evicts dirty a -> 1 write
+        stack.get("a")               # miss -> 1 read, then evicts dirty b -> 1 write
+        assert stack.io_seconds == pytest.approx(3.0)
+
+    def test_bad_cache_size(self):
+        dev = ConstantLatencyDevice(0.0)
+        with pytest.raises(ConfigurationError):
+            StorageStack(dev, 0)
+
+
+class TestDirtyAndFlush:
+    def test_mark_dirty_resident(self):
+        stack, dev = make()
+        stack.create("a", "a", 100)
+        stack.flush()
+        stack.mark_dirty("a")
+        stack.flush()
+        assert dev.stats.writes == 2
+
+    def test_mark_dirty_refetches_evicted_node(self):
+        stack, dev = make(cache_bytes=150)
+        stack.create("a", "a", 100)
+        stack.flush()
+        stack.create("b", "b", 100)  # evicts a (clean now)
+        reads_before = dev.stats.reads
+        stack.mark_dirty("a")        # must re-read a first
+        assert dev.stats.reads == reads_before + 1
+        stack.flush()
+
+    def test_drop_cache_starts_cold(self):
+        stack, dev = make()
+        stack.create("a", "a", 100)
+        stack.drop_cache()
+        reads = dev.stats.reads
+        stack.get("a")
+        assert dev.stats.reads == reads + 1
+
+    def test_cache_bytes_property(self):
+        stack, _ = make(cache_bytes=777)
+        assert stack.cache_bytes == 777

@@ -1,0 +1,51 @@
+"""Smoke tests: the shipped examples must actually run.
+
+Each example is executed in a subprocess (as a user would run it) and its
+output spot-checked.  Only the quick ones run here; the full set is
+exercised by ``make examples``.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "all invariants hold" in out
+        assert "Write amplification" in out
+
+    def test_ssd_concurrency(self):
+        out = run_example("ssd_concurrency.py")
+        assert "P =" in out
+        assert "veb_pb" in out
+
+    def test_aging(self):
+        out = run_example("aging_range_queries.py")
+        assert "aging slowdown" in out
+
+    @pytest.mark.slow
+    def test_node_size_tuning(self):
+        out = run_example("node_size_tuning.py")
+        assert "B-tree optimum" in out
+
+    @pytest.mark.slow
+    def test_io_trace_analysis(self):
+        out = run_example("io_trace_analysis.py")
+        assert "fewer IOs" in out

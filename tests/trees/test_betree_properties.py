@@ -1,0 +1,96 @@
+"""Property-based Bε-tree tests: naive and Theorem 9 trees vs a dict oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.ram import NullDevice
+from repro.storage.stack import StorageStack
+from repro.trees.betree import BeTree, BeTreeConfig, OptimizedBeTree
+from repro.trees.sizing import EntryFormat
+
+
+def fresh(cls, node_bytes=2048, fanout=3):
+    stack = StorageStack(NullDevice(), cache_bytes=1 << 20)
+    cfg = BeTreeConfig(node_bytes=node_bytes, fanout=fanout, fmt=EntryFormat(value_bytes=8))
+    return cls(stack, cfg)
+
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 200), st.integers(-50, 50)),
+        st.tuples(st.just("delete"), st.integers(0, 200), st.just(0)),
+        st.tuples(st.just("upsert"), st.integers(0, 200), st.integers(-5, 5)),
+    ),
+    max_size=250,
+)
+
+
+def apply_ref(ref, op, key, value):
+    if op == "insert":
+        ref[key] = value
+    elif op == "delete":
+        ref.pop(key, None)
+    else:
+        ref[key] = ref.get(key, 0) + value
+
+
+@pytest.mark.parametrize("cls", [BeTree, OptimizedBeTree])
+class TestAgainstOracle:
+    @given(ops=ops_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_contents_match(self, cls, ops):
+        tree = fresh(cls)
+        ref: dict[int, int] = {}
+        for op, key, value in ops:
+            getattr(tree, op)(key, value) if op != "delete" else tree.delete(key)
+            apply_ref(ref, op, key, value)
+        tree.check_invariants()
+        assert dict(tree.items()) == ref
+
+    @given(ops=ops_strategy, probe=st.integers(0, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_point_queries_match(self, cls, ops, probe):
+        tree = fresh(cls)
+        ref: dict[int, int] = {}
+        for op, key, value in ops:
+            getattr(tree, op)(key, value) if op != "delete" else tree.delete(key)
+            apply_ref(ref, op, key, value)
+        assert tree.get(probe) == ref.get(probe)
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_flush_all_is_invisible(self, cls, ops):
+        tree = fresh(cls)
+        ref: dict[int, int] = {}
+        for op, key, value in ops:
+            getattr(tree, op)(key, value) if op != "delete" else tree.delete(key)
+            apply_ref(ref, op, key, value)
+        before = dict(tree.items())
+        tree.flush_all()
+        tree.check_invariants()
+        assert dict(tree.items()) == before == ref
+
+    @given(ops=ops_strategy, lo=st.integers(0, 200), span=st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_range_matches(self, cls, ops, lo, span):
+        tree = fresh(cls)
+        ref: dict[int, int] = {}
+        for op, key, value in ops:
+            getattr(tree, op)(key, value) if op != "delete" else tree.delete(key)
+            apply_ref(ref, op, key, value)
+        hi = lo + span
+        expected = sorted((k, v) for k, v in ref.items() if lo <= k <= hi)
+        assert tree.range(lo, hi) == expected
+
+
+@given(keys=st.sets(st.integers(0, 5000), min_size=1, max_size=400))
+@settings(max_examples=30, deadline=None)
+def test_bulk_load_equals_insert_load(keys):
+    pairs = [(k, k) for k in sorted(keys)]
+    bulk = fresh(BeTree)
+    bulk.bulk_load(pairs)
+    inserted = fresh(BeTree)
+    for k, v in pairs:
+        inserted.insert(k, v)
+    assert list(bulk.items()) == list(inserted.items())

@@ -1,0 +1,220 @@
+"""B-tree unit tests: CRUD, structure, IO accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TreeError
+from repro.storage.ram import NullDevice
+from repro.storage.stack import StorageStack
+from repro.trees.btree import BTree, BTreeConfig
+from repro.trees.sizing import EntryFormat
+
+
+def make_tree(node_bytes=2048, cache_bytes=1 << 20, value_bytes=20):
+    stack = StorageStack(NullDevice(), cache_bytes)
+    cfg = BTreeConfig(node_bytes=node_bytes, fmt=EntryFormat(value_bytes=value_bytes))
+    return BTree(stack, cfg), stack
+
+
+class TestConfig:
+    def test_capacities(self):
+        cfg = BTreeConfig(node_bytes=4096)
+        assert cfg.leaf_capacity >= 2
+        assert cfg.internal_capacity >= 2
+
+    def test_tiny_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BTreeConfig(node_bytes=64)
+
+    def test_bad_bulk_fill(self):
+        with pytest.raises(ConfigurationError):
+            BTreeConfig(node_bytes=4096, bulk_fill=0.01)
+
+
+class TestCRUD:
+    def test_empty_tree(self):
+        tree, _ = make_tree()
+        assert len(tree) == 0
+        assert tree.get(42) is None
+        assert 42 not in tree
+        assert tree.height == 1
+
+    def test_insert_get(self):
+        tree, _ = make_tree()
+        tree.insert(5, "five")
+        assert tree.get(5) == "five"
+        assert 5 in tree
+        assert len(tree) == 1
+
+    def test_overwrite(self):
+        tree, _ = make_tree()
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        assert tree.get(5) == "b"
+        assert len(tree) == 1
+
+    def test_delete_present(self):
+        tree, _ = make_tree()
+        tree.insert(1, "x")
+        assert tree.delete(1) is True
+        assert tree.get(1) is None
+        assert len(tree) == 0
+
+    def test_delete_absent(self):
+        tree, _ = make_tree()
+        tree.insert(1, "x")
+        assert tree.delete(2) is False
+        assert len(tree) == 1
+
+    def test_many_inserts_match_dict(self):
+        tree, _ = make_tree()
+        rng = np.random.default_rng(1)
+        ref = {}
+        for k in rng.integers(0, 5000, size=3000):
+            k = int(k)
+            tree.insert(k, k * 7)
+            ref[k] = k * 7
+        tree.check_invariants()
+        assert len(tree) == len(ref)
+        for k in list(ref)[::11]:
+            assert tree.get(k) == ref[k]
+
+    def test_interleaved_insert_delete(self):
+        tree, _ = make_tree()
+        rng = np.random.default_rng(2)
+        ref = {}
+        for _ in range(4000):
+            k = int(rng.integers(0, 800))
+            if rng.random() < 0.6:
+                tree.insert(k, k)
+                ref[k] = k
+            else:
+                assert tree.delete(k) == (k in ref)
+                ref.pop(k, None)
+        tree.check_invariants()
+        assert dict(tree.items()) == ref
+
+    def test_delete_everything(self):
+        tree, _ = make_tree()
+        keys = list(range(0, 2000, 3))
+        for k in keys:
+            tree.insert(k, k)
+        for k in keys:
+            assert tree.delete(k)
+        tree.check_invariants()
+        assert len(tree) == 0
+        assert tree.height == 1  # collapsed back to a lone leaf
+
+    def test_sequential_inserts_stay_balanced(self):
+        tree, _ = make_tree(node_bytes=1024)
+        for k in range(3000):
+            tree.insert(k, k)
+        tree.check_invariants()
+        # Balanced height ~ log_fanout(n).
+        assert tree.height <= 8
+
+
+class TestRangeQueries:
+    def test_range_basic(self):
+        tree, _ = make_tree()
+        for k in range(0, 100, 2):
+            tree.insert(k, k * 10)
+        assert tree.range(10, 20) == [(k, k * 10) for k in range(10, 21, 2)]
+
+    def test_range_empty_interval(self):
+        tree, _ = make_tree()
+        tree.insert(5, 5)
+        assert tree.range(10, 2) == []
+        assert tree.range(6, 7) == []
+
+    def test_range_whole_tree(self):
+        tree, _ = make_tree()
+        keys = list(range(0, 3000, 7))
+        for k in keys:
+            tree.insert(k, k)
+        assert tree.range(-100, 10**9) == [(k, k) for k in keys]
+
+    def test_items_sorted(self):
+        tree, _ = make_tree()
+        rng = np.random.default_rng(3)
+        for k in rng.permutation(500):
+            tree.insert(int(k), int(k))
+        got = list(tree.items())
+        assert got == sorted(got)
+
+
+class TestBulkLoad:
+    def test_bulk_load_queryable(self):
+        tree, _ = make_tree()
+        pairs = [(i * 3, i) for i in range(5000)]
+        tree.bulk_load(pairs)
+        tree.check_invariants()
+        assert len(tree) == 5000
+        assert tree.get(9) == 3
+        assert tree.get(10) is None
+
+    def test_bulk_load_then_mutate(self):
+        tree, _ = make_tree()
+        tree.bulk_load([(i * 2, i) for i in range(2000)])
+        tree.insert(1001, "odd")
+        assert tree.delete(0)
+        tree.check_invariants()
+        assert tree.get(1001) == "odd"
+
+    def test_bulk_load_requires_empty(self):
+        tree, _ = make_tree()
+        tree.insert(1, 1)
+        with pytest.raises(TreeError):
+            tree.bulk_load([(2, 2)])
+
+    def test_bulk_load_requires_sorted_unique(self):
+        tree, _ = make_tree()
+        with pytest.raises(TreeError):
+            tree.bulk_load([(2, 2), (1, 1)])
+        tree2, _ = make_tree()
+        with pytest.raises(TreeError):
+            tree2.bulk_load([(1, 1), (1, 2)])
+
+    def test_bulk_load_empty_list(self):
+        tree, _ = make_tree()
+        tree.bulk_load([])
+        assert len(tree) == 0
+
+
+class TestIOAccounting:
+    def test_all_io_through_cache(self):
+        stack = StorageStack(NullDevice(), cache_bytes=4096)  # ~2 nodes
+        tree = BTree(stack, BTreeConfig(node_bytes=2048, fmt=EntryFormat(value_bytes=20)))
+        for k in range(2000):
+            tree.insert(k, k)
+        dev = stack.device.stats
+        assert dev.reads > 0 and dev.writes > 0  # cache pressure forced IO
+
+    def test_node_bytes_ios(self):
+        # Every IO the B-tree issues moves exactly node_bytes.
+        stack = StorageStack(NullDevice(capacity_bytes=1 << 30, trace=True), cache_bytes=4096)
+        tree = BTree(stack, BTreeConfig(node_bytes=2048, fmt=EntryFormat(value_bytes=20)))
+        for k in range(500):
+            tree.insert(k, k)
+        sizes = {rec.nbytes for rec in stack.device.trace}
+        assert sizes == {2048}
+
+    def test_write_amp_grows_with_node_size(self):
+        amps = []
+        for node_bytes in (2048, 8192):
+            stack = StorageStack(NullDevice(), cache_bytes=8192)
+            tree = BTree(stack, BTreeConfig(node_bytes=node_bytes,
+                                            fmt=EntryFormat(value_bytes=20)))
+            rng = np.random.default_rng(0)
+            for k in rng.integers(0, 10**9, size=3000):
+                tree.insert(int(k), 1)
+            stack.flush()
+            amps.append(stack.device.stats.write_amplification(tree.user_bytes_modified))
+        assert amps[1] > 1.5 * amps[0]  # Lemma 3: ~linear in B
+
+    def test_user_bytes_modified_counts(self):
+        tree, _ = make_tree()
+        tree.insert(1, 1)
+        tree.insert(2, 2)
+        tree.delete(1)
+        assert tree.user_bytes_modified == 3 * tree.config.fmt.entry_bytes

@@ -1,0 +1,82 @@
+"""Property-based B-tree tests (hypothesis): dict-equivalence under any ops."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.ram import NullDevice
+from repro.storage.stack import StorageStack
+from repro.trees.btree import BTree, BTreeConfig
+from repro.trees.sizing import EntryFormat
+
+
+def fresh_tree(node_bytes=1024):
+    stack = StorageStack(NullDevice(), cache_bytes=1 << 20)
+    return BTree(stack, BTreeConfig(node_bytes=node_bytes, fmt=EntryFormat(value_bytes=8)))
+
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 300), st.integers(0, 1000)),
+        st.tuples(st.just("delete"), st.integers(0, 300), st.just(0)),
+    ),
+    max_size=300,
+)
+
+
+@given(ops_strategy)
+@settings(max_examples=80, deadline=None)
+def test_matches_dict_reference(ops):
+    tree = fresh_tree()
+    ref: dict[int, int] = {}
+    for op, key, value in ops:
+        if op == "insert":
+            tree.insert(key, value)
+            ref[key] = value
+        else:
+            assert tree.delete(key) == (key in ref)
+            ref.pop(key, None)
+    tree.check_invariants()
+    assert dict(tree.items()) == ref
+    assert len(tree) == len(ref)
+
+
+@given(ops_strategy, st.integers(0, 300), st.integers(0, 300))
+@settings(max_examples=60, deadline=None)
+def test_range_matches_reference(ops, lo, hi):
+    tree = fresh_tree()
+    ref: dict[int, int] = {}
+    for op, key, value in ops:
+        if op == "insert":
+            tree.insert(key, value)
+            ref[key] = value
+        else:
+            tree.delete(key)
+            ref.pop(key, None)
+    expected = sorted((k, v) for k, v in ref.items() if lo <= k <= hi)
+    assert tree.range(lo, hi) == expected
+
+
+@given(st.sets(st.integers(0, 10_000), min_size=1, max_size=500))
+@settings(max_examples=40, deadline=None)
+def test_bulk_load_equals_insert_load(keys):
+    pairs = [(k, k * 3) for k in sorted(keys)]
+    bulk = fresh_tree()
+    bulk.bulk_load(pairs)
+    inserted = fresh_tree()
+    for k, v in pairs:
+        inserted.insert(k, v)
+    bulk.check_invariants()
+    inserted.check_invariants()
+    assert list(bulk.items()) == list(inserted.items())
+
+
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_invariants_after_every_op(keys):
+    tree = fresh_tree(node_bytes=512)  # tiny nodes -> frequent splits
+    for i, k in enumerate(keys):
+        if i % 3 == 2:
+            tree.delete(k)
+        else:
+            tree.insert(k, i)
+    tree.check_invariants()

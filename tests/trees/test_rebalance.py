@@ -1,0 +1,190 @@
+"""Theorem 9 weight-balanced rebuild tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TreeError
+from repro.storage.ram import NullDevice
+from repro.storage.stack import StorageStack
+from repro.trees.betree import BeTree, BeTreeConfig, OptimizedBeTree
+from repro.trees.betree.rebalance import (
+    check_weight_balance,
+    find_unbalanced,
+    node_weights,
+    rebuild_weight_balance,
+    weight_bounds,
+)
+from repro.trees.sizing import EntryFormat
+
+
+def make_tree(cls=BeTree, node_bytes=4096, fanout=8):
+    stack = StorageStack(NullDevice(), cache_bytes=1 << 20)
+    cfg = BeTreeConfig(node_bytes=node_bytes, fanout=fanout, fmt=EntryFormat(value_bytes=8))
+    return cls(stack, cfg)
+
+
+class TestWeightBounds:
+    def test_window_shape(self):
+        lo, hi = weight_bounds(16, 2)
+        assert lo == pytest.approx(256 * 0.75)
+        assert hi == pytest.approx(256 * 1.25)
+
+    def test_leaf_level(self):
+        lo, hi = weight_bounds(16, 0)
+        assert lo < 1 < hi
+
+    def test_bad_fanout(self):
+        with pytest.raises(TreeError):
+            weight_bounds(1, 2)
+
+
+class TestNodeWeights:
+    def test_weights_sum_correctly(self):
+        tree = make_tree()
+        for k in range(4000):
+            tree.insert(k, k)
+        weights = node_weights(tree)
+        root_h, root_w = weights[tree.root_id]
+        leaf_count = sum(1 for h, _ in weights.values() if h == 0)
+        assert root_w == leaf_count
+        assert root_h >= 1
+
+
+class TestRebuild:
+    def test_balanced_after_rebuild(self):
+        tree = make_tree()
+        rng = np.random.default_rng(0)
+        for k in rng.integers(0, 10**6, size=20_000):
+            tree.insert(int(k), 0)
+        rebuild_weight_balance(tree)
+        check_weight_balance(tree)
+        tree.check_invariants()
+
+    def test_contents_preserved(self):
+        tree = make_tree()
+        ref = {}
+        rng = np.random.default_rng(1)
+        for k in rng.integers(0, 50_000, size=15_000):
+            k = int(k)
+            tree.insert(k, k * 2)
+            ref[k] = k * 2
+        for k in list(ref)[::5]:
+            tree.delete(k)
+            del ref[k]
+        rebuild_weight_balance(tree)
+        assert dict(tree.items()) == ref
+        tree.check_invariants()
+
+    def test_optimized_tree_supported(self):
+        tree = make_tree(OptimizedBeTree)
+        rng = np.random.default_rng(2)
+        ref = {}
+        for k in rng.integers(0, 10**6, size=12_000):
+            k = int(k)
+            tree.insert(k, k)
+            ref[k] = k
+        rebuild_weight_balance(tree)
+        check_weight_balance(tree)
+        tree.check_invariants()
+        assert dict(tree.items()) == ref
+
+    def test_skewed_deletions_rebalanced(self):
+        """Delete a contiguous half of the keyspace: splits alone cannot
+        restore weight balance, the rebuild must."""
+        tree = make_tree()
+        for k in range(30_000):
+            tree.insert(k, k)
+        for k in range(15_000):
+            tree.delete(k)
+        tree.flush_all()
+        rebuild_weight_balance(tree)
+        check_weight_balance(tree)
+        assert len(list(tree.items())) == 15_000
+
+    def test_rebuild_count_zero_when_balanced(self):
+        tree = make_tree()
+        for k in range(5000):
+            tree.insert(k, k)
+        first = rebuild_weight_balance(tree)
+        again = rebuild_weight_balance(tree)
+        assert again == 0
+        assert first >= 0
+
+    def test_empty_and_tiny_trees(self):
+        tree = make_tree()
+        assert rebuild_weight_balance(tree) == 0
+        tree.insert(1, 1)
+        assert rebuild_weight_balance(tree) == 0
+        assert tree.get(1) == 1
+
+    def test_find_unbalanced_reports_violations(self):
+        tree = make_tree()
+        for k in range(30_000):
+            tree.insert(k, k)
+        for k in range(25_000):
+            tree.delete(k)
+        tree.flush_all()
+        # After deleting 5/6 of a one-sided range, some node should be out
+        # of its weight window (the split-based tree never merges).
+        assert find_unbalanced(tree) is not None
+        rebuild_weight_balance(tree)
+        assert find_unbalanced(tree) is None
+
+    def test_queries_after_rebuild(self):
+        tree = make_tree()
+        rng = np.random.default_rng(3)
+        ref = {}
+        for k in rng.integers(0, 10**6, size=10_000):
+            k = int(k)
+            tree.insert(k, k)
+            ref[k] = k
+        rebuild_weight_balance(tree)
+        for k in list(ref)[::17]:
+            assert tree.get(k) == ref[k]
+        lo, hi = 10_000, 200_000
+        expected = sorted((k, v) for k, v in ref.items() if lo <= k <= hi)
+        assert tree.range(lo, hi) == expected
+
+    def test_mutations_after_rebuild(self):
+        tree = make_tree()
+        for k in range(8000):
+            tree.insert(k, k)
+        rebuild_weight_balance(tree)
+        for k in range(8000, 12_000):
+            tree.insert(k, k)
+        for k in range(0, 4000):
+            tree.delete(k)
+        tree.check_invariants()
+        assert len(list(tree.items())) == 8000
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete"]),
+            st.integers(0, 3000),
+        ),
+        min_size=50,
+        max_size=400,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_rebuild_property(ops):
+    """After any op sequence, the rebuild restores balance and contents."""
+    tree = make_tree(fanout=4, node_bytes=2048)
+    ref = {}
+    for op, key in ops:
+        if op == "insert":
+            tree.insert(key, key)
+            ref[key] = key
+        else:
+            tree.delete(key)
+            ref.pop(key, None)
+    rebuild_weight_balance(tree, max_rebuilds=256)
+    check_weight_balance(tree)
+    tree.check_invariants()
+    assert dict(tree.items()) == ref

@@ -1,0 +1,47 @@
+"""EntryFormat sizing tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trees.sizing import EntryFormat
+
+
+class TestEntryFormat:
+    def test_defaults(self):
+        fmt = EntryFormat()
+        assert fmt.entry_bytes == 108
+        assert fmt.pivot_bytes == 16
+        assert fmt.message_bytes == 112
+
+    def test_leaf_capacity(self):
+        fmt = EntryFormat(key_bytes=8, value_bytes=92, node_header_bytes=0)
+        assert fmt.leaf_capacity(1000) == 10
+
+    def test_internal_capacity(self):
+        fmt = EntryFormat(key_bytes=8, pointer_bytes=8, node_header_bytes=0)
+        assert fmt.internal_capacity(160) == 10
+
+    def test_capacity_too_small_rejected(self):
+        fmt = EntryFormat()
+        with pytest.raises(ConfigurationError):
+            fmt.leaf_capacity(100)
+
+    def test_byte_footprints_roundtrip(self):
+        fmt = EntryFormat()
+        n = fmt.leaf_capacity(65536)
+        assert fmt.leaf_bytes(n) <= 65536
+        assert fmt.leaf_bytes(n + 1) > 65536 - fmt.entry_bytes
+
+    def test_internal_bytes(self):
+        fmt = EntryFormat(node_header_bytes=48)
+        assert fmt.internal_bytes(10) == 48 + 160
+
+    def test_buffer_bytes(self):
+        fmt = EntryFormat()
+        assert fmt.buffer_bytes(5) == 5 * fmt.message_bytes
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EntryFormat(key_bytes=0)
+        with pytest.raises(ConfigurationError):
+            EntryFormat(value_bytes=-1)

@@ -1,0 +1,172 @@
+"""Static search tree, vEB layout, and PDAM query-simulator tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.pdam import PDAMModel
+from repro.storage.ideal import PDAMDevice
+from repro.trees.btree.veb import (
+    PDAMQuerySimulator,
+    StaticSearchTree,
+    VEBLayout,
+)
+
+
+class TestStaticSearchTree:
+    def test_contains_all_keys(self):
+        keys = np.arange(1, 100) * 5
+        tree = StaticSearchTree(keys)
+        for k in keys:
+            assert tree.contains(int(k))
+
+    def test_rejects_absent_keys(self):
+        tree = StaticSearchTree(np.arange(1, 100) * 5)
+        assert not tree.contains(7)
+        assert not tree.contains(0)
+        assert not tree.contains(10**9)
+
+    def test_search_path_root_to_leaf(self):
+        tree = StaticSearchTree(np.arange(1, 65))
+        path = tree.search_path(30)
+        assert path[0] == 0
+        assert len(path) == tree.height
+        for a, b in zip(path, path[1:]):
+            assert b in (2 * a + 1, 2 * a + 2)
+
+    def test_nodes_at_depth_contiguous(self):
+        tree = StaticSearchTree(np.arange(1, 17))
+        cohort = tree.nodes_at_depth(0, 2)
+        assert list(cohort) == [3, 4, 5, 6]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StaticSearchTree([])
+        with pytest.raises(ConfigurationError):
+            StaticSearchTree([3, 2, 1])
+        with pytest.raises(ConfigurationError):
+            StaticSearchTree([1, 1])
+
+    def test_non_power_of_two_padded(self):
+        keys = np.arange(1, 100)  # 99 keys -> 128 leaves
+        tree = StaticSearchTree(keys)
+        assert tree.n_nodes == 2 * 128 - 1
+        assert all(tree.contains(int(k)) for k in keys)
+
+
+class TestVEBLayout:
+    @pytest.mark.parametrize("height", [1, 2, 3, 4, 5, 8, 13])
+    def test_is_a_permutation(self, height):
+        layout = VEBLayout(height)
+        assert sorted(layout.position.tolist()) == list(range(layout.n_nodes))
+
+    def test_root_is_first(self):
+        for h in (2, 5, 9):
+            assert VEBLayout(h).position[0] == 0
+
+    def test_height_one(self):
+        layout = VEBLayout(1)
+        assert layout.n_nodes == 1
+
+    def test_bottom_subtrees_contiguous(self):
+        # The vEB property: each recursive bottom subtree occupies a
+        # contiguous range of positions.
+        h = 6
+        layout = VEBLayout(h)
+        top_h = (h + 1) // 2
+        bottom_h = h - top_h
+        first = (1 << top_h) - 1
+        for root in range(first, 2 * first + 1):
+            # Collect the subtree of `root` of height bottom_h.
+            nodes = [root]
+            frontier = [root]
+            for _ in range(bottom_h - 1):
+                frontier = [c for n in frontier for c in (2 * n + 1, 2 * n + 2)]
+                nodes.extend(frontier)
+            positions = sorted(int(layout.position[n]) for n in nodes)
+            assert positions == list(range(positions[0], positions[0] + len(nodes)))
+
+    def test_path_spans_few_blocks(self):
+        # A root-to-leaf path in vEB order touches O(log N / log B) blocks.
+        h = 16
+        layout = VEBLayout(h)
+        tree = StaticSearchTree(np.arange(1, (1 << (h - 1)) + 1))
+        entries_per_block = 255  # 8 levels per block
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            key = int(rng.integers(1, 1 << (h - 1)))
+            path = tree.search_path(key)
+            blocks = {int(layout.position[n]) // entries_per_block for n in path}
+            assert len(blocks) <= math.ceil(h / 8) + 1
+
+    def test_bad_height(self):
+        with pytest.raises(ConfigurationError):
+            VEBLayout(0)
+
+
+class TestPDAMQuerySimulator:
+    def setup_method(self):
+        self.tree = StaticSearchTree(np.arange(1, 2**12 + 1) * 3)
+
+    def _sim(self, mode, P=8):
+        dev = PDAMDevice(PDAMModel(parallelism=P, block_bytes=4096))
+        return PDAMQuerySimulator(dev, self.tree, mode=mode)
+
+    def test_all_queries_complete(self):
+        for mode in ("flat_b", "flat_pb", "veb_pb"):
+            res = self._sim(mode).run(3, 10, seed=1)
+            assert res.queries_completed == 30
+            assert res.steps > 0
+
+    def test_flat_b_scales_with_clients_up_to_p(self):
+        t1 = self._sim("flat_b").run(1, 20, seed=0).throughput
+        t8 = self._sim("flat_b").run(8, 20, seed=0).throughput
+        assert t8 == pytest.approx(8 * t1, rel=0.15)
+
+    def test_flat_b_saturates_past_p(self):
+        t8 = self._sim("flat_b").run(8, 20, seed=0).throughput
+        t16 = self._sim("flat_b").run(16, 20, seed=0).throughput
+        assert t16 == pytest.approx(t8, rel=0.15)
+
+    def test_flat_pb_does_not_scale(self):
+        t1 = self._sim("flat_pb").run(1, 20, seed=0).throughput
+        t8 = self._sim("flat_pb").run(8, 20, seed=0).throughput
+        assert t8 < 2 * t1
+
+    def test_veb_beats_flat_b_single_client(self):
+        v = self._sim("veb_pb").run(1, 30, seed=0).throughput
+        f = self._sim("flat_b").run(1, 30, seed=0).throughput
+        assert v > 1.2 * f
+
+    def test_veb_matches_flat_b_at_saturation(self):
+        v = self._sim("veb_pb").run(8, 30, seed=0).throughput
+        f = self._sim("flat_b").run(8, 30, seed=0).throughput
+        assert v > 0.9 * f
+
+    def test_lemma13_dominance(self):
+        # veb_pb within 90% of the best mode at every k.
+        for k in (1, 2, 4, 8):
+            results = {
+                mode: self._sim(mode).run(k, 20, seed=2).throughput
+                for mode in ("flat_b", "flat_pb", "veb_pb")
+            }
+            best = max(results.values())
+            assert results["veb_pb"] >= 0.9 * best, (k, results)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._sim("diagonal")
+
+    def test_bad_run_params_rejected(self):
+        sim = self._sim("veb_pb")
+        with pytest.raises(ConfigurationError):
+            sim.run(0, 10)
+        with pytest.raises(ConfigurationError):
+            sim.run(1, 0)
+
+    def test_deterministic(self):
+        a = self._sim("veb_pb").run(4, 25, seed=9)
+        b = self._sim("veb_pb").run(4, 25, seed=9)
+        assert a.steps == b.steps
