@@ -1,0 +1,71 @@
+"""E17: the autotuner converges on every device; no static config can.
+
+Three gates on the :mod:`repro.tuning` closed loop:
+
+1. **Convergence** — starting from a node size 16x off, one
+   probe -> fit -> solve -> rebuild pass lands within 2x of the optimum an
+   exhaustive per-device sweep finds, on every device in the zoo.
+2. **No static configuration** — over the same fitted device models at the
+   reference big-data scale, every single node size is more than 2x off
+   optimal on at least one device: per-device tuning is necessary.
+3. **Round-trip** — calibrating the ideal devices recovers the planted
+   parameters (alpha within 5%, P within 5%) with fit R² >= 0.98.
+"""
+
+from repro.experiments import exp_autotune
+from repro.models.affine import AffineModel
+from repro.models.pdam import PDAMModel
+from repro.storage.ideal import AffineDevice, PDAMDevice
+from repro.tuning import calibrate_device
+
+
+def bench_autotune_convergence(benchmark, show):
+    result = benchmark.pedantic(lambda: exp_autotune.run(), rounds=1, iterations=1)
+    show(result.render())
+    benchmark.extra_info["ratios"] = {
+        row.name: round(row.convergence_ratio, 2) for row in result.rows
+    }
+    benchmark.extra_info["static_worst"] = round(result.best_static_worst_ratio, 2)
+
+    # Gate 1: within 2x of the sweep optimum on every device.
+    for row in result.rows:
+        assert row.convergence_ratio <= 2.0, row.name
+    # The bad start really was bad somewhere (16x off is not a no-op).
+    assert max(row.start_ratio for row in result.rows) > 2.0
+    # Gate 2: the best static node size is > 2x off on its worst device.
+    assert result.best_static_worst_ratio > 2.0
+
+
+def bench_autotune_roundtrip(benchmark, show):
+    s, t = 0.004, 4e-9
+
+    def roundtrip():
+        affine_profile = calibrate_device(
+            AffineDevice(AffineModel.from_hardware(s, t))
+        )
+        pdam_profile = calibrate_device(
+            PDAMDevice(PDAMModel(parallelism=8, block_bytes=4096, step_seconds=1e-4))
+        )
+        return affine_profile, pdam_profile
+
+    affine_profile, pdam_profile = benchmark.pedantic(
+        roundtrip, rounds=1, iterations=1
+    )
+    alpha_err = abs(affine_profile.alpha_per_byte - t / s) / (t / s)
+    p_err = abs(pdam_profile.pdam.parallelism - 8) / 8
+    show(
+        f"alpha round-trip error {alpha_err * 100:.3g}% "
+        f"(fit R2 {affine_profile.affine.r2:.4f}), "
+        f"P round-trip error {p_err * 100:.3g}% "
+        f"(fit R2 {pdam_profile.pdam.r2:.4f})"
+    )
+    benchmark.extra_info["alpha_err_pct"] = round(alpha_err * 100, 3)
+    benchmark.extra_info["p_err_pct"] = round(p_err * 100, 3)
+
+    # Gate 3: parameters recovered within 5%, fits confident.
+    assert alpha_err < 0.05
+    assert affine_profile.affine.r2 >= 0.98
+    assert pdam_profile.pdam is not None
+    assert p_err < 0.05
+    assert pdam_profile.pdam.r2 >= 0.98
+    assert abs(affine_profile.setup_seconds - s) / s < 0.05

@@ -50,12 +50,20 @@ class SegmentedFit:
         Per-segment :class:`LinearFit` objects.
     r2:
         Overall coefficient of determination across both segments.
+    degenerate:
+        True when no valid breakpoint existed (all x-values fell on one
+        side of every candidate split) and the result is a single-segment
+        fallback fit duplicated on both sides.  Callers doing model
+        selection — e.g. the tuner's early re-fits from a handful of trace
+        samples — should treat a degenerate fit as "no knee observed", not
+        as a parameter estimate.
     """
 
     breakpoint: float
     left: LinearFit
     right: LinearFit
     r2: float
+    degenerate: bool = False
 
     def predict(self, x) -> np.ndarray | float:
         """Evaluate the piecewise fit at ``x`` (scalar or array)."""
@@ -122,6 +130,12 @@ def segmented_linear_fit(
     ``flat_left`` constrains the left segment to a horizontal line — the
     PDAM's prediction for the below-saturation regime, which sharpens the
     breakpoint (= parallelism) estimate when the transition is soft.
+
+    When every candidate breakpoint is invalid (all x-values sit on one
+    side of each split — e.g. few samples with heavily repeated x), the
+    result falls back to a single fit over all points, duplicated on both
+    sides, with ``degenerate=True`` so callers can gate on it.  Constant-x
+    data yields a flat fit at the mean y.
     """
     xs, ys = _validate_xy(x, y)
     if xs.size < 2 * min_points_per_segment:
@@ -148,7 +162,18 @@ def segmented_linear_fit(
             best = (sse, split, left_fit, right_fit)
 
     if best is None:
-        raise FitError("no valid breakpoint (all x-values equal?)")
+        # No split leaves distinct x-values on both sides: return a
+        # well-defined single-segment fallback instead of failing, flagged
+        # so confidence gating can reject it.
+        fallback, _ = _segment_sse(xs, ys)
+        overall_r2 = r_squared(ys, fallback.predict(xs))
+        return SegmentedFit(
+            breakpoint=float(xs[-1]),
+            left=fallback,
+            right=fallback,
+            r2=overall_r2,
+            degenerate=True,
+        )
 
     _, split, left_fit, right_fit = best
     breakpoint = float((xs[split - 1] + xs[split]) / 2.0)

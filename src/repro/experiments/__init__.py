@@ -25,9 +25,11 @@ aging     extension (E13)        exp_aging
 asymmetry extension (E14)        exp_asymmetry
 ycsb      extension (E15)        exp_ycsb
 modelerr  extension (E16)        exp_model_error
+autotune  extension (E17)        exp_autotune
 ========  =====================  ======================================
 
-Pass ``--plot`` to append an ASCII rendering for the figure experiments.
+Pass ``--plot`` to append an ASCII rendering for the figure experiments,
+``--list`` to print the experiment names.
 """
 
 from repro.experiments import report

@@ -11,6 +11,7 @@ from repro.experiments import (
     exp_affine_validation,
     exp_aging,
     exp_asymmetry,
+    exp_autotune,
     exp_betree_nodesize,
     exp_btree_nodesize,
     exp_epsilon_tradeoff,
@@ -41,6 +42,7 @@ EXPERIMENTS: dict[str, Callable[[], object]] = {
     "asymmetry": exp_asymmetry.run,
     "ycsb": exp_ycsb.run,
     "modelerr": exp_model_error.run,
+    "autotune": exp_autotune.run,
 }
 
 
@@ -52,6 +54,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
         choices=sorted(EXPERIMENTS) + ["all"],
         help="which table/figure to regenerate",
     )
@@ -60,7 +63,18 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="append an ASCII plot for experiments that have one",
     )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the available experiment names and exit",
+    )
     args = parser.parse_args(argv)
+    if args.list:
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    if args.experiment is None:
+        parser.error("experiment name required (or --list)")
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         t0 = time.perf_counter()

@@ -12,7 +12,10 @@ to keep that visible in every table.
 from __future__ import annotations
 
 from repro.errors import ConfigurationError
+from repro.models.affine import AffineModel
+from repro.storage.device import BlockDevice
 from repro.storage.hdd import HDDGeometry, SimulatedHDD
+from repro.storage.ideal import AffineDevice
 from repro.storage.ssd import SSDGeometry, SimulatedSSD
 
 
@@ -123,3 +126,42 @@ def make_ssd(name: str) -> SimulatedSSD:
 def default_ssd() -> SimulatedSSD:
     """The SSD used by PDAM-flavoured tree experiments."""
     return make_ssd("samsung-860-pro-sim")
+
+
+#: Noise-free affine devices at the extremes of the alpha range the tuner
+#: must cover: name -> (s seconds, t seconds per byte).  The low-alpha end
+#: behaves like a floppy-era device (huge optimal nodes), the high-alpha
+#: end like NVM (tiny optimal nodes); no single static node size is close
+#: to optimal on both (Figure 2's point, stretched to its ends).
+AFFINE_ZOO: dict[str, tuple[float, float]] = {
+    "affine-lowalpha-sim": (0.05, 9.26e-10),  # alpha ~ 1.9e-8 /byte
+    "affine-highalpha-sim": (2e-5, 9.26e-9),  # alpha ~ 4.6e-4 /byte
+}
+
+
+def make_affine(name: str, *, trace: bool = False) -> AffineDevice:
+    """Instantiate one of the extreme-alpha affine devices."""
+    try:
+        s, t = AFFINE_ZOO[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown affine device {name!r}; choose from {sorted(AFFINE_ZOO)}"
+        ) from None
+    return AffineDevice(AffineModel.from_hardware(s, t), trace=trace)
+
+
+def tuning_zoo(*, seed: int = 0) -> dict[str, BlockDevice]:
+    """Every device the autotuner is exercised against (experiment E17).
+
+    Spans both model families and three decades of alpha: all Table 2
+    disks, a SATA and an NVMe SSD, and the two affine extremes — a range
+    wide enough that no static node size can be near-optimal everywhere.
+    """
+    zoo: dict[str, BlockDevice] = {}
+    for name in HDD_ZOO:
+        zoo[name] = make_hdd(name, seed=seed)
+    for name in ("samsung-860-pro-sim", "samsung-970-pro-sim"):
+        zoo[name] = make_ssd(name)
+    for name in AFFINE_ZOO:
+        zoo[name] = make_affine(name)
+    return zoo

@@ -21,6 +21,7 @@ reproduce IO cost-model effects faithfully.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import InvalidIOError
@@ -40,6 +41,48 @@ class IORecord:
     def duration(self) -> float:
         """Simulated seconds the IO took."""
         return self.end - self.start
+
+
+@dataclass(frozen=True)
+class IOSample:
+    """One passively sampled IO: size, simulated duration, direction."""
+
+    nbytes: int
+    seconds: float
+    kind: str  # "read" or "write"
+
+
+class IOSampler:
+    """Ring buffer of recent :class:`IOSample` pairs for passive re-fits.
+
+    The tuner (:mod:`repro.tuning`) re-fits device parameters from these
+    samples without issuing probe IOs.  The buffer is bounded, so a
+    long-running workload keeps only its most recent ``capacity`` IOs —
+    exactly the recency window an online re-fit wants.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise InvalidIOError(f"sampler capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._buf: deque[IOSample] = deque(maxlen=self.capacity)
+
+    def record(self, nbytes: int, seconds: float, kind: str) -> None:
+        """Append one sample, evicting the oldest if the ring is full."""
+        self._buf.append(IOSample(nbytes, seconds, kind))
+
+    def samples(self, *, kind: str | None = None) -> list[IOSample]:
+        """Current samples oldest-first, optionally one direction only."""
+        if kind is None:
+            return list(self._buf)
+        return [s for s in self._buf if s.kind == kind]
+
+    def clear(self) -> None:
+        """Drop all samples (e.g. after a re-fit consumed them)."""
+        self._buf.clear()
+
+    def __len__(self) -> int:
+        return len(self._buf)
 
 
 @dataclass
@@ -108,6 +151,9 @@ class BlockDevice(ABC):
         self.clock = 0.0
         self._trace_enabled = bool(trace)
         self.trace: list[IORecord] = []
+        # Passive sampling is off by default: the only cost when disabled is
+        # one None check per IO.
+        self.sampler: IOSampler | None = None
 
     # -- subclass API ------------------------------------------------------
 
@@ -143,6 +189,8 @@ class BlockDevice(ABC):
         self.stats.read_seconds += elapsed
         if self._trace_enabled:
             self.trace.append(IORecord("read", offset, nbytes, start, end))
+        if self.sampler is not None:
+            self.sampler.record(nbytes, elapsed, "read")
         return elapsed
 
     def write(self, offset: int, nbytes: int) -> float:
@@ -157,13 +205,26 @@ class BlockDevice(ABC):
         self.stats.write_seconds += elapsed
         if self._trace_enabled:
             self.trace.append(IORecord("write", offset, nbytes, start, end))
+        if self.sampler is not None:
+            self.sampler.record(nbytes, elapsed, "write")
         return elapsed
+
+    def enable_sampling(self, capacity: int = 256) -> IOSampler:
+        """Attach (or resize) the passive IO sampler; returns it."""
+        self.sampler = IOSampler(capacity)
+        return self.sampler
+
+    def disable_sampling(self) -> None:
+        """Detach the sampler; per-IO overhead returns to a single None check."""
+        self.sampler = None
 
     def reset(self) -> None:
         """Zero the clock, counters and trace (fresh experiment)."""
         self.stats = DeviceStats()
         self.clock = 0.0
         self.trace = []
+        if self.sampler is not None:
+            self.sampler.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(capacity={self.capacity_bytes})"

@@ -90,9 +90,25 @@ class TestSegmentedFit:
         with pytest.raises(FitError):
             segmented_linear_fit([1, 2, 3], [1, 2, 3])
 
-    def test_all_equal_x_rejected(self):
-        with pytest.raises(FitError):
-            segmented_linear_fit([1, 1, 1, 1], [1, 2, 3, 4])
+    def test_all_equal_x_degenerate_flat_fit(self):
+        # No candidate breakpoint splits constant x, so the fit falls back
+        # to one flat segment on both sides and flags itself degenerate.
+        fit = segmented_linear_fit([1, 1, 1, 1], [1, 2, 3, 4])
+        assert fit.degenerate
+        assert fit.left is fit.right
+        assert fit.left.slope == pytest.approx(0.0)
+        assert fit.left.intercept == pytest.approx(2.5)
+        assert fit.breakpoint == pytest.approx(1.0)
+
+    def test_one_sided_breakpoints_degenerate_not_raise(self):
+        # The only candidate split falls between equal x-values, so every
+        # breakpoint is ambiguous.  Must return a flagged fit, not raise.
+        fit = segmented_linear_fit([1, 1, 1, 2], [1, 1, 1, 2])
+        assert fit.degenerate
+
+    def test_knee_data_not_degenerate(self):
+        x, y = self._knee_data()
+        assert not segmented_linear_fit(x, y).degenerate
 
     def test_unsorted_input_handled(self):
         x, y = self._knee_data()

@@ -11,7 +11,17 @@ class TestCLI:
             "fig1", "table2", "table3", "fig2", "fig3",
             "lemma13", "writeamp", "theorem9", "optima", "lsm",
             "epsilon", "aging", "asymmetry", "ycsb", "modelerr",
+            "autotune",
         }
+
+    def test_list_prints_names_and_exits_zero(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == sorted(EXPERIMENTS)
+
+    def test_no_experiment_and_no_list_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
 
     def test_runs_cheap_experiment(self, capsys):
         assert main(["optima"]) == 0

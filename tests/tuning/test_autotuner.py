@@ -1,0 +1,174 @@
+"""AutoTuner: the full loop, payback gating, passive refits."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.affine import AffineModel
+from repro.storage.ideal import AffineDevice
+from repro.storage.stack import StorageStack
+from repro.trees.btree import BTree, BTreeConfig
+from repro.tuning import AutoTuner
+from repro.tuning.autotuner import estimate_migration_seconds
+
+UNIVERSE = 1 << 20
+CACHE = 1 << 20
+
+
+def device(s=0.004, t=4e-9):
+    return AffineDevice(AffineModel.from_hardware(s, t))
+
+
+def loaded_tree(dev, node_bytes, n=2000, seed=0):
+    import random
+
+    rng = random.Random(seed)
+    pairs = sorted((k, f"v{k}") for k in rng.sample(range(UNIVERSE), n))
+    tree = BTree(StorageStack(dev, CACHE), BTreeConfig(node_bytes=node_bytes))
+    tree.bulk_load(pairs)
+    return tree, dict(pairs)
+
+
+class TestLifecycle:
+    def test_recommend_before_calibrate_rejected(self):
+        tuner = AutoTuner(device())
+        with pytest.raises(ConfigurationError):
+            tuner.recommend(n_entries=10**6, cache_bytes=CACHE)
+
+    def test_calibrate_then_recommend(self):
+        tuner = AutoTuner(device())
+        profile = tuner.calibrate()
+        assert profile.confident()
+        rec = tuner.recommend(n_entries=10**7, cache_bytes=CACHE)
+        assert rec.node_bytes > 0
+        assert tuner.profile is profile
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AutoTuner(device(), min_r2=0.0)
+        with pytest.raises(ConfigurationError):
+            AutoTuner(device(), max_probe_rounds=0)
+
+
+class TestApply:
+    def setup_tuner(self, dev):
+        tuner = AutoTuner(dev)
+        tuner.calibrate()
+        return tuner
+
+    def test_bulk_migration_preserves_tree(self):
+        dev = device()
+        tree, reference = loaded_tree(dev, node_bytes=4096)
+        tuner = self.setup_tuner(dev)
+        rec = tuner.recommend(n_entries=len(tree), cache_bytes=64 << 10)
+        outcome = tuner.apply(
+            tree,
+            rec,
+            lambda: BTree(
+                StorageStack(dev, CACHE), BTreeConfig(node_bytes=rec.node_bytes)
+            ),
+            current_node_bytes=4096,
+        )
+        assert outcome.migrated
+        assert outcome.report is not None and outcome.report.mode == "bulk"
+        assert len(outcome.tree) == len(reference)
+        for key in list(reference)[::131]:
+            assert outcome.tree.get(key) == reference[key]
+
+    def test_incremental_migration_mode(self):
+        dev = device()
+        tree, reference = loaded_tree(dev, node_bytes=4096, n=800)
+        tuner = self.setup_tuner(dev)
+        rec = tuner.recommend(n_entries=len(tree), cache_bytes=64 << 10)
+        outcome = tuner.apply(
+            tree,
+            rec,
+            lambda: BTree(
+                StorageStack(dev, CACHE), BTreeConfig(node_bytes=rec.node_bytes)
+            ),
+            current_node_bytes=4096,
+            mode="incremental",
+            universe=UNIVERSE,
+        )
+        assert outcome.migrated
+        assert outcome.report.mode == "incremental"
+        assert outcome.report.entries_moved == len(reference)
+
+    def test_incremental_needs_universe(self):
+        dev = device()
+        tree, _ = loaded_tree(dev, node_bytes=4096, n=100)
+        tuner = self.setup_tuner(dev)
+        rec = tuner.recommend(n_entries=10**6, cache_bytes=CACHE)
+        with pytest.raises(ConfigurationError):
+            tuner.apply(tree, rec, lambda: None, current_node_bytes=4096,
+                        mode="incremental")
+
+    def test_short_horizon_skips_migration(self):
+        dev = device()
+        tree, _ = loaded_tree(dev, node_bytes=4096)
+        tuner = self.setup_tuner(dev)
+        rec = tuner.recommend(n_entries=len(tree), cache_bytes=64 << 10)
+        outcome = tuner.apply(
+            tree, rec, lambda: None,
+            current_node_bytes=4096,
+            current_per_op_seconds=rec.predicted_per_op_seconds * 2,
+            horizon_ops=1,  # nothing pays back within one op
+        )
+        assert not outcome.migrated
+        assert outcome.tree is tree
+        assert outcome.report is None
+        assert outcome.predicted_payback_ops > 1
+
+    def test_no_saving_never_migrates_under_horizon(self):
+        dev = device()
+        tree, _ = loaded_tree(dev, node_bytes=4096)
+        tuner = self.setup_tuner(dev)
+        rec = tuner.recommend(n_entries=len(tree), cache_bytes=64 << 10)
+        outcome = tuner.apply(
+            tree, rec, lambda: None,
+            current_node_bytes=4096,
+            current_per_op_seconds=rec.predicted_per_op_seconds / 2,  # already faster
+            horizon_ops=10**12,
+        )
+        assert not outcome.migrated
+
+    def test_unknown_mode_rejected(self):
+        dev = device()
+        tree, _ = loaded_tree(dev, node_bytes=4096, n=100)
+        tuner = self.setup_tuner(dev)
+        rec = tuner.recommend(n_entries=10**6, cache_bytes=CACHE)
+        with pytest.raises(ConfigurationError):
+            tuner.apply(tree, rec, lambda: None, current_node_bytes=4096, mode="magic")
+
+
+class TestRefit:
+    def test_refit_updates_profile_from_sampler(self):
+        dev = device()
+        tuner = AutoTuner(dev)
+        tuner.calibrate()
+        dev.enable_sampling(capacity=1024)
+        for size in (4096, 16384, 65536, 262144) * 8:
+            dev.read(0, size)
+        updated = tuner.refit()
+        assert updated is not None
+        assert tuner.profile.source == "trace"
+
+    def test_refit_without_sampler_keeps_profile(self):
+        dev = device()
+        tuner = AutoTuner(dev)
+        profile = tuner.calibrate()
+        assert tuner.refit() is None
+        assert tuner.profile is profile
+
+    def test_refit_before_calibrate_is_none(self):
+        assert AutoTuner(device()).refit() is None
+
+
+class TestMigrationEstimate:
+    def test_scales_with_entries(self):
+        tuner = AutoTuner(device())
+        profile = tuner.calibrate()
+        small = estimate_migration_seconds(profile, 10**4, 4096, 65536)
+        large = estimate_migration_seconds(profile, 10**6, 4096, 65536)
+        assert large > small * 50
+        with pytest.raises(ConfigurationError):
+            estimate_migration_seconds(profile, -1, 4096, 65536)

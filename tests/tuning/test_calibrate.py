@@ -1,0 +1,109 @@
+"""Fitting: round-trips on ideal devices, gating, passive refits."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.affine import AffineModel
+from repro.models.pdam import PDAMModel
+from repro.storage.device import IOSample
+from repro.storage.ideal import AffineDevice, PDAMDevice
+from repro.tuning import (
+    DeviceProfile,
+    calibrate_device,
+    refit_from_samples,
+    refit_profile,
+)
+
+
+def affine_device(s=0.004, t=4e-9):
+    return AffineDevice(AffineModel.from_hardware(s, t))
+
+
+class TestRoundTrip:
+    """Acceptance criterion: planted parameters recovered within 5%."""
+
+    @pytest.mark.parametrize("s,t", [(0.004, 4e-9), (0.05, 9.26e-10), (2e-5, 9.26e-9)])
+    def test_affine_alpha_within_5pct(self, s, t):
+        profile = calibrate_device(affine_device(s, t))
+        true_alpha = t / s
+        assert abs(profile.alpha_per_byte - true_alpha) / true_alpha < 0.05
+        assert abs(profile.setup_seconds - s) / s < 0.05
+        assert profile.affine.r2 >= 0.98
+        assert profile.confident()
+
+    @pytest.mark.parametrize("P", [2, 4, 8])
+    def test_pdam_parallelism_within_5pct(self, P):
+        dev = PDAMDevice(PDAMModel(parallelism=P, block_bytes=4096, step_seconds=1e-4))
+        profile = calibrate_device(dev)
+        assert profile.pdam is not None
+        assert abs(profile.pdam.parallelism - P) / P < 0.05
+        assert profile.pdam.r2 >= 0.98
+        assert profile.is_parallel
+        assert profile.parallel_block_bytes == 4096
+
+    def test_serial_device_has_no_pdam_half(self):
+        profile = calibrate_device(affine_device())
+        assert not profile.is_parallel
+
+    def test_profile_charges_probe_cost(self):
+        dev = affine_device()
+        profile = calibrate_device(dev)
+        assert profile.probe_ios > 0
+        assert profile.probe_seconds == pytest.approx(dev.clock)
+        assert profile.source == "probe"
+
+
+class TestProfileUnits:
+    def test_alpha_per_entry_scales_by_entry_bytes(self):
+        profile = calibrate_device(affine_device())
+        assert profile.alpha_per_entry(108) == pytest.approx(108 * profile.alpha_per_byte)
+        with pytest.raises(ConfigurationError):
+            profile.alpha_per_entry(0)
+
+
+def _samples(sizes, s=0.004, t=4e-9, kind="read"):
+    return [IOSample(nbytes=n, seconds=s + t * n, kind=kind) for n in sizes]
+
+
+class TestRefitFromSamples:
+    def test_recovers_planted_line(self):
+        sizes = [4096, 16384, 65536, 262144] * 8
+        fit = refit_from_samples(_samples(sizes))
+        assert fit is not None
+        assert fit.setup_seconds == pytest.approx(0.004, rel=1e-6)
+        assert fit.seconds_per_byte == pytest.approx(4e-9, rel=1e-6)
+
+    def test_too_few_samples_rejected(self):
+        assert refit_from_samples(_samples([4096, 65536] * 3)) is None
+
+    def test_narrow_size_spread_rejected(self):
+        # 16 samples but sizes within a factor of 2: no slope information.
+        assert refit_from_samples(_samples([4096, 6144, 8192] * 6)) is None
+
+    def test_too_few_distinct_sizes_rejected(self):
+        # Wide spread, plenty of samples, but only two rungs.
+        assert refit_from_samples(_samples([4096, 262144] * 10)) is None
+
+    def test_wrong_kind_rejected(self):
+        samples = _samples([4096, 16384, 65536, 262144] * 8, kind="write")
+        assert refit_from_samples(samples) is None
+        assert refit_from_samples(samples, kind="write") is not None
+
+
+class TestRefitProfile:
+    def test_updates_affine_keeps_pdam(self):
+        dev = affine_device()
+        profile = calibrate_device(dev)
+        dev.enable_sampling(capacity=1024)
+        for size in [4096, 16384, 65536, 262144] * 8:
+            dev.read(0, size)
+        updated = refit_profile(profile, dev)
+        assert updated is not None
+        assert updated.source == "trace"
+        assert updated.pdam is profile.pdam
+        assert updated.setup_seconds == pytest.approx(0.004, rel=1e-3)
+
+    def test_sampler_off_returns_none(self):
+        dev = affine_device()
+        profile = calibrate_device(dev)
+        assert refit_profile(profile, dev) is None
