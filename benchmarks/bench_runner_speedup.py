@@ -1,0 +1,179 @@
+"""repro.runner: parallel sweep speedup and cache warm-rerun cost.
+
+Two gates on the runner subsystem rather than on the paper's quantities:
+
+1. **Parallelism is sound and free** — the E3 + E5 sweeps produce the exact
+   same results at any job count, and with >= 2 cores the parallel run is
+   no slower than the serial one (no absolute wall-clock thresholds: CI
+   hardware varies, correctness and relative ordering do not).
+2. **The cache works** — a warm rerun of the same sweeps costs < 10% of
+   the cold run and returns identical results.
+
+Run standalone to append a wall-clock record to ``BENCH_runner_speedup.json``
+at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_runner_speedup.py [--smoke]
+
+``--smoke`` shrinks the sweeps to a few seconds of runtime.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments import exp_affine_validation as e3
+from repro.experiments import exp_btree_nodesize as e5
+from repro.runner import ResultCache, run_sweep
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_runner_speedup.json"
+
+# Big enough that per-point work dwarfs pool startup, small enough for CI.
+FULL = dict(
+    e3=dict(
+        io_sizes=tuple(4096 * 4**k for k in range(7)),
+        reads_per_size=256,
+        devices=("seagate-2tb-2002-sim", "seagate-250gb-2006-sim",
+                 "hitachi-1tb-2009-sim", "wd-black-1tb-2011-sim"),
+        seed=0,
+    ),
+    e5=dict(
+        node_sizes=tuple(8192 * 2**k for k in range(8)),  # 8 KiB .. 1 MiB
+        n_entries=150_000,
+        cache_bytes=4 << 20,
+        n_queries=300,
+        n_inserts=300,
+        warmup_queries=150,
+        seed=0,
+    ),
+)
+
+# Sized so that on 2+ cores the pool's fork overhead is well under the
+# serial runtime — the smoke gate (parallel <= serial) must not be won or
+# lost on process startup noise.
+SMOKE = dict(
+    e3=dict(
+        io_sizes=(4096, 65536, 1 << 20),
+        reads_per_size=8,
+        devices=("seagate-2tb-2002-sim", "wd-black-1tb-2011-sim"),
+        seed=0,
+    ),
+    e5=dict(
+        node_sizes=(32768, 131072, 524288, 1 << 20),
+        n_entries=100_000,
+        cache_bytes=2 << 20,
+        n_queries=200,
+        n_inserts=200,
+        warmup_queries=100,
+        seed=0,
+    ),
+)
+
+# A few points of warm-up work, shared by every measurement path.
+WARMUP = dict(
+    e3=dict(
+        io_sizes=(4096, 65536),
+        reads_per_size=4,
+        devices=("seagate-2tb-2002-sim",),
+        seed=0,
+    ),
+    e5=dict(
+        node_sizes=(65536,),
+        n_entries=4000,
+        cache_bytes=1 << 20,
+        n_queries=10,
+        n_inserts=10,
+        warmup_queries=10,
+        seed=0,
+    ),
+)
+
+
+def _specs(config):
+    return [e3.sweep_spec(**config["e3"]), e5.sweep_spec(**config["e5"])]
+
+
+def _run_sweeps(config, *, jobs, cache=None):
+    """Run both sweeps, returning (results, wall_seconds)."""
+    start = time.perf_counter()
+    results = [run_sweep(spec, jobs=jobs, cache=cache) for spec in _specs(config)]
+    return results, time.perf_counter() - start
+
+
+def _measure(config, tmp_cache_dir):
+    jobs = min(8, os.cpu_count() or 1)
+    _run_sweeps(WARMUP, jobs=1)  # warm imports/allocator so timings compare fairly
+    serial_results, serial_s = _run_sweeps(config, jobs=1)
+    parallel_results, parallel_s = _run_sweeps(config, jobs=jobs)
+    cache = ResultCache(tmp_cache_dir)
+    cold_results, cold_s = _run_sweeps(config, jobs=1, cache=cache)
+    warm_results, warm_s = _run_sweeps(config, jobs=1, cache=cache)
+    return {
+        "jobs": jobs,
+        "cpus": os.cpu_count() or 1,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": serial_s / parallel_s if parallel_s else float("inf"),
+        "warm_fraction": warm_s / cold_s if cold_s else 0.0,
+        "results_identical": (
+            parallel_results == serial_results
+            and cold_results == serial_results
+            and warm_results == serial_results
+        ),
+    }
+
+
+def _check(m):
+    assert m["results_identical"], "parallel/cached results diverged from serial"
+    assert m["warm_fraction"] < 0.10, (
+        f"warm rerun cost {m['warm_fraction']:.1%} of cold (>= 10%)"
+    )
+    if m["cpus"] >= 2:
+        # Relative gate only: the pool must not lose to the serial path.
+        assert m["parallel_s"] <= m["serial_s"], (
+            f"parallel {m['parallel_s']:.2f}s slower than serial {m['serial_s']:.2f}s"
+        )
+
+
+def bench_runner_speedup(benchmark, show, tmp_path):
+    m = benchmark.pedantic(
+        lambda: _measure(FULL, tmp_path / "cache"), rounds=1, iterations=1
+    )
+    show(
+        f"E3+E5 sweeps: serial {m['serial_s']:.2f}s, "
+        f"jobs={m['jobs']} {m['parallel_s']:.2f}s "
+        f"({m['speedup']:.2f}x on {m['cpus']} cpus); "
+        f"cold {m['cold_s']:.2f}s, warm {m['warm_s']:.2f}s "
+        f"({m['warm_fraction']:.1%})"
+    )
+    for key in ("jobs", "cpus", "serial_s", "parallel_s", "cold_s", "warm_s"):
+        benchmark.extra_info[key] = round(m[key], 3) if isinstance(m[key], float) else m[key]
+    benchmark.extra_info["speedup"] = round(m["speedup"], 2)
+    benchmark.extra_info["warm_fraction"] = round(m["warm_fraction"], 4)
+    _check(m)
+
+
+def main(argv):
+    import tempfile
+
+    config = SMOKE if "--smoke" in argv else FULL
+    with tempfile.TemporaryDirectory() as tmp:
+        m = _measure(config, Path(tmp) / "cache")
+    _check(m)
+    record = {"config": "smoke" if config is SMOKE else "full"}
+    record.update({k: round(v, 4) if isinstance(v, float) else v for k, v in m.items()})
+    history = []
+    if BENCH_JSON.exists():
+        history = json.loads(BENCH_JSON.read_text())
+    history.append(record)
+    BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"appended to {BENCH_JSON}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1:])

@@ -45,6 +45,20 @@ EXPERIMENTS: dict[str, Callable[[], object]] = {
     "autotune": exp_autotune.run,
 }
 
+#: Experiments migrated to repro.runner: these accept ``jobs=``/``cache=``.
+RUNNER_EXPERIMENTS = frozenset({"table2", "fig2", "fig3", "autotune"})
+
+
+def _run_one(name: str, *, jobs: int, use_cache: bool) -> object:
+    """Invoke one experiment, routing runner kwargs where supported."""
+    fn = EXPERIMENTS[name]
+    if name not in RUNNER_EXPERIMENTS:
+        return fn()
+    from repro.runner import ResultCache, default_cache_dir
+
+    cache = ResultCache(default_cache_dir()) if use_cache else None
+    return fn(jobs=jobs, cache=cache)
+
 
 def main(argv: list[str] | None = None) -> int:
     """Run one or all experiments; prints rendered tables to stdout."""
@@ -68,6 +82,24 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the available experiment names and exit",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for runner-based experiments "
+        "(0 = all cores; results are identical at any job count)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every sweep point, ignoring the on-disk result cache",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top-20 cumulative entries",
+    )
     args = parser.parse_args(argv)
     if args.list:
         for name in sorted(EXPERIMENTS):
@@ -78,7 +110,18 @@ def main(argv: list[str] | None = None) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         t0 = time.perf_counter()
-        result = EXPERIMENTS[name]()
+        if args.profile:
+            import cProfile
+            import pstats
+
+            profiler = cProfile.Profile()
+            result = profiler.runcall(
+                _run_one, name, jobs=args.jobs, use_cache=not args.no_cache
+            )
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats(pstats.SortKey.CUMULATIVE).print_stats(20)
+        else:
+            result = _run_one(name, jobs=args.jobs, use_cache=not args.no_cache)
         wall = time.perf_counter() - t0
         print(result.render())
         if args.plot and hasattr(result, "render_plot"):

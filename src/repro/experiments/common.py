@@ -49,14 +49,25 @@ def measure_tree_ops(
 
     ``tree`` must expose ``get``/``insert`` and a ``storage`` stack (both
     :class:`~repro.trees.btree.tree.BTree` and Bε variants do).
+
+    Every phase derives its stream from ``seed`` with a fixed offset
+    (warm-up: ``seed+1``, queries: ``seed+2``, inserts: ``seed+3``), so the
+    measurement is a pure function of ``(tree state, universe, n_queries,
+    n_inserts, warmup_queries, seed)`` — exactly the fields a
+    :class:`~repro.runner.spec.SweepPoint` fingerprints.
     """
     if n_queries <= 0 or n_inserts <= 0:
         raise ConfigurationError("need positive op counts")
+    if warmup_queries < 0:
+        raise ConfigurationError("warmup_queries must be non-negative")
     storage = tree.storage
     storage.drop_cache()
 
     for key in point_query_stream(loaded_keys, warmup_queries, seed=seed + 1):
         tree.get(key)
+    # Hit rates reported after this call should describe the measured ops,
+    # not the warm-up traffic that primed the cache.
+    storage.cache.stats.reset()
 
     t0 = storage.io_seconds
     for key in point_query_stream(loaded_keys, n_queries, seed=seed + 2):

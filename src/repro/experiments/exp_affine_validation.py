@@ -16,11 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.analysis.fitting import AffineFit, fit_affine_model
 from repro.experiments import report
-from repro.experiments.devices import HDD_ZOO, make_hdd
+from repro.experiments.devices import HDD_ZOO
+from repro.runner import ResultCache, SweepPoint, SweepSpec, run_sweep
 
 DEFAULT_IO_SIZES = tuple(4096 * 4**k for k in range(7))  # 4 KiB .. 16 MiB
 
@@ -66,30 +65,50 @@ class AffineValidationResult:
         )
 
 
+def sweep_spec(
+    *,
+    io_sizes: tuple[int, ...] = DEFAULT_IO_SIZES,
+    reads_per_size: int = 64,
+    devices: tuple[str, ...] | None = None,
+    seed: int = 0,
+) -> SweepSpec:
+    """The E3 sweep: one ``affine_validation_device`` point per zoo disk."""
+    names = devices if devices is not None else tuple(sorted(HDD_ZOO))
+    return SweepSpec.make(
+        "affine_validation",
+        [
+            SweepPoint.make(
+                "affine_validation_device",
+                device=name,
+                io_sizes=tuple(io_sizes),
+                reads_per_size=reads_per_size,
+                seed=seed,
+            )
+            for name in names
+        ],
+    )
+
+
 def run(
     *,
     io_sizes: tuple[int, ...] = DEFAULT_IO_SIZES,
     reads_per_size: int = 64,
     devices: tuple[str, ...] | None = None,
     seed: int = 0,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> AffineValidationResult:
     """Issue the random-read sweep on each zoo disk and fit (s, t, alpha)."""
     names = devices if devices is not None else tuple(sorted(HDD_ZOO))
+    spec = sweep_spec(
+        io_sizes=tuple(io_sizes),
+        reads_per_size=reads_per_size,
+        devices=names,
+        seed=seed,
+    )
     result = AffineValidationResult(io_sizes=tuple(io_sizes), reads_per_size=reads_per_size)
-    for name in names:
-        hdd = make_hdd(name, seed=seed)
-        rng = np.random.default_rng(seed + 1)
-        mean_sizes: list[float] = []
-        mean_times: list[float] = []
-        for io in io_sizes:
-            samples = []
-            for _ in range(reads_per_size):
-                blocks = (hdd.capacity_bytes - io) // 512
-                offset = int(rng.integers(0, blocks)) * 512
-                samples.append(hdd.read(offset, io))
-            mean_sizes.append(float(io))
-            mean_times.append(float(np.mean(samples)))
-        result.fits[name] = fit_affine_model(mean_sizes, mean_times)
+    for name, point in zip(names, run_sweep(spec, jobs=jobs, cache=cache)):
+        result.fits[name] = fit_affine_model(point["mean_sizes"], point["mean_times"])
         _, s_true, t4k_true = HDD_ZOO[name]
         result.truth[name] = (s_true, t4k_true)
     return result

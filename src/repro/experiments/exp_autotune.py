@@ -34,10 +34,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from typing import Any
+
 from repro.experiments import report
 from repro.experiments.common import build_load, measure_tree_ops
 from repro.experiments.devices import tuning_zoo
 from repro.models.analysis import btree_op_cost
+from repro.runner import ResultCache, SweepPoint, SweepSpec, run_sweep
 from repro.storage.stack import StorageStack
 from repro.trees.btree import BTree, BTreeConfig
 from repro.trees.sizing import EntryFormat
@@ -136,13 +139,14 @@ class AutotuneResult:
 
 
 def _measure_query_ms(device, node_bytes, pairs, keys, universe, *,
-                      cache_bytes, n_queries, seed):
+                      cache_bytes, n_queries, warmup_queries, seed):
     """Bulk-load a fresh B-tree at ``node_bytes`` and time warm queries."""
     storage = StorageStack(device, cache_bytes)
     tree = BTree(storage, BTreeConfig(node_bytes=node_bytes))
     tree.bulk_load(pairs)
     times = measure_tree_ops(
-        tree, keys, universe, n_queries=n_queries, n_inserts=1, seed=seed
+        tree, keys, universe, n_queries=n_queries, n_inserts=1,
+        warmup_queries=warmup_queries, seed=seed,
     )
     return tree, times.query_seconds_per_op * 1e3
 
@@ -185,6 +189,113 @@ def static_config_worst_ratios(
     return worst
 
 
+def measure_device(
+    name: str,
+    *,
+    node_sizes: tuple[int, ...],
+    n_entries: int,
+    cache_bytes: int,
+    universe: int,
+    n_queries: int,
+    warmup_queries: int = 200,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """The per-device E17 protocol: sweep, mis-configure, tune, re-measure.
+
+    This is the body of the ``autotune_device`` sweep kernel: it builds its
+    own zoo device (device state — clock, RNG, head position — carries
+    across the sweep/bad-start/tuned phases, exactly as the serial loop
+    had it) and returns a picklable dict of every :class:`DeviceTuneRow`
+    field plus the fitted profile.
+    """
+    fmt = EntryFormat()
+    pairs, keys = build_load(n_entries, universe, seed=seed)
+    device = tuning_zoo(seed=seed)[name]
+    sweep_ms = []
+    for node_bytes in node_sizes:
+        _, ms = _measure_query_ms(
+            device, node_bytes, pairs, keys, universe,
+            cache_bytes=cache_bytes, n_queries=n_queries,
+            warmup_queries=warmup_queries, seed=seed,
+        )
+        sweep_ms.append(ms)
+    best_idx = min(range(len(node_sizes)), key=sweep_ms.__getitem__)
+    best_bytes, best_ms = node_sizes[best_idx], sweep_ms[best_idx]
+
+    start_bytes = _bad_start(best_bytes, node_sizes)
+    bad_tree, start_ms = _measure_query_ms(
+        device, start_bytes, pairs, keys, universe,
+        cache_bytes=cache_bytes, n_queries=n_queries,
+        warmup_queries=warmup_queries, seed=seed + 1,
+    )
+
+    tuner = AutoTuner(device, fmt=fmt, seed=seed)
+    profile = tuner.calibrate()
+    # Serial point queries cannot use PDAM slots, so solve the serial
+    # Corollary 6/7 optimum even on devices with fitted parallelism.
+    rec = tuner.recommend(
+        n_entries=n_entries, cache_bytes=cache_bytes,
+        prefer_parallel_layout=False,
+    )
+    outcome = tuner.apply(
+        bad_tree,
+        rec,
+        lambda: BTree(
+            StorageStack(device, cache_bytes),
+            BTreeConfig(node_bytes=rec.node_bytes),
+        ),
+        current_node_bytes=start_bytes,
+        current_per_op_seconds=start_ms / 1e3,
+    )
+    times = measure_tree_ops(
+        outcome.tree, keys, universe, n_queries=n_queries, n_inserts=1,
+        warmup_queries=warmup_queries, seed=seed + 2,
+    )
+    return {
+        "name": name,
+        "profile": profile,
+        "sweep_ms": sweep_ms,
+        "sweep_best_bytes": best_bytes,
+        "sweep_best_ms": best_ms,
+        "start_bytes": start_bytes,
+        "start_ms": start_ms,
+        "tuned_bytes": rec.node_bytes,
+        "tuned_ms": times.query_seconds_per_op * 1e3,
+    }
+
+
+def sweep_spec(
+    *,
+    node_sizes: tuple[int, ...] = DEFAULT_NODE_SIZES,
+    n_entries: int = 600_000,
+    cache_bytes: int = 16 << 20,
+    universe: int = 1 << 31,
+    n_queries: int = 150,
+    warmup_queries: int = 200,
+    devices: tuple[str, ...] | None = None,
+    seed: int = 0,
+) -> SweepSpec:
+    """The E17 sweep: one ``autotune_device`` point per zoo device."""
+    names = devices if devices is not None else tuple(tuning_zoo(seed=seed))
+    return SweepSpec.make(
+        "autotune",
+        [
+            SweepPoint.make(
+                "autotune_device",
+                device=name,
+                node_sizes=tuple(node_sizes),
+                n_entries=n_entries,
+                cache_bytes=cache_bytes,
+                universe=universe,
+                n_queries=n_queries,
+                warmup_queries=warmup_queries,
+                seed=seed,
+            )
+            for name in names
+        ],
+    )
+
+
 def run(
     *,
     node_sizes: tuple[int, ...] = DEFAULT_NODE_SIZES,
@@ -192,70 +303,31 @@ def run(
     cache_bytes: int = 16 << 20,
     universe: int = 1 << 31,
     n_queries: int = 150,
+    warmup_queries: int = 200,
     devices: tuple[str, ...] | None = None,
     seed: int = 0,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> AutotuneResult:
     """Sweep, mis-configure, tune, and compare on every zoo device."""
     fmt = EntryFormat()
-    pairs, keys = build_load(n_entries, universe, seed=seed)
-    zoo = tuning_zoo(seed=seed)
-    if devices is not None:
-        zoo = {name: zoo[name] for name in devices}
+    spec = sweep_spec(
+        node_sizes=tuple(node_sizes),
+        n_entries=n_entries,
+        cache_bytes=cache_bytes,
+        universe=universe,
+        n_queries=n_queries,
+        warmup_queries=warmup_queries,
+        devices=devices,
+        seed=seed,
+    )
     result = AutotuneResult(
         node_sizes=tuple(node_sizes), n_entries=n_entries, cache_bytes=cache_bytes
     )
     profiles: dict[str, DeviceProfile] = {}
-    for name, device in zoo.items():
-        sweep_ms = []
-        for node_bytes in node_sizes:
-            _, ms = _measure_query_ms(
-                device, node_bytes, pairs, keys, universe,
-                cache_bytes=cache_bytes, n_queries=n_queries, seed=seed,
-            )
-            sweep_ms.append(ms)
-        best_idx = min(range(len(node_sizes)), key=sweep_ms.__getitem__)
-        best_bytes, best_ms = node_sizes[best_idx], sweep_ms[best_idx]
-
-        start_bytes = _bad_start(best_bytes, node_sizes)
-        bad_tree, start_ms = _measure_query_ms(
-            device, start_bytes, pairs, keys, universe,
-            cache_bytes=cache_bytes, n_queries=n_queries, seed=seed + 1,
-        )
-
-        tuner = AutoTuner(device, fmt=fmt, seed=seed)
-        profile = tuner.calibrate()
-        profiles[name] = profile
-        # Serial point queries cannot use PDAM slots, so solve the serial
-        # Corollary 6/7 optimum even on devices with fitted parallelism.
-        rec = tuner.recommend(
-            n_entries=n_entries, cache_bytes=cache_bytes,
-            prefer_parallel_layout=False,
-        )
-        outcome = tuner.apply(
-            bad_tree,
-            rec,
-            lambda: BTree(
-                StorageStack(device, cache_bytes),
-                BTreeConfig(node_bytes=rec.node_bytes),
-            ),
-            current_node_bytes=start_bytes,
-            current_per_op_seconds=start_ms / 1e3,
-        )
-        times = measure_tree_ops(
-            outcome.tree, keys, universe, n_queries=n_queries, n_inserts=1,
-            seed=seed + 2,
-        )
-        result.rows.append(DeviceTuneRow(
-            name=name,
-            profile=profile,
-            sweep_ms=sweep_ms,
-            sweep_best_bytes=best_bytes,
-            sweep_best_ms=best_ms,
-            start_bytes=start_bytes,
-            start_ms=start_ms,
-            tuned_bytes=rec.node_bytes,
-            tuned_ms=times.query_seconds_per_op * 1e3,
-        ))
+    for row in run_sweep(spec, jobs=jobs, cache=cache):
+        profiles[row["name"]] = row["profile"]
+        result.rows.append(DeviceTuneRow(**row))
 
     if len(profiles) >= 2:
         worst = static_config_worst_ratios(profiles, fmt=fmt)

@@ -23,10 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.fitting import OverlayFit, fit_affine_overlay
 from repro.experiments import report
-from repro.experiments.common import build_load, measure_tree_ops
-from repro.experiments.devices import default_hdd
-from repro.storage.stack import StorageStack
-from repro.trees.betree import BeTreeConfig, OptimizedBeTree
+from repro.runner import ResultCache, SweepPoint, SweepSpec, run_sweep
 
 DEFAULT_NODE_SIZES = (64 << 10, 256 << 10, 1 << 20, 4 << 20)
 
@@ -94,6 +91,41 @@ class BeTreeNodeSizeResult:
         return max(values) / min(values)
 
 
+def sweep_spec(
+    *,
+    node_sizes: tuple[int, ...] = DEFAULT_NODE_SIZES,
+    n_entries: int = 300_000,
+    cache_bytes: int = 8 << 20,
+    fanout: int = 16,
+    universe: int = 1 << 31,
+    n_queries: int = 300,
+    inserts_per_buffer_fill: float = 4.0,
+    max_inserts: int = 100_000,
+    warmup_queries: int = 200,
+    seed: int = 0,
+) -> SweepSpec:
+    """The E6 sweep: one ``betree_nodesize_point`` per node size."""
+    return SweepSpec.make(
+        "betree_nodesize",
+        [
+            SweepPoint.make(
+                "betree_nodesize_point",
+                node_bytes=node_bytes,
+                n_entries=n_entries,
+                cache_bytes=cache_bytes,
+                fanout=fanout,
+                universe=universe,
+                n_queries=n_queries,
+                inserts_per_buffer_fill=inserts_per_buffer_fill,
+                max_inserts=max_inserts,
+                warmup_queries=warmup_queries,
+                seed=seed,
+            )
+            for node_bytes in node_sizes
+        ],
+    )
+
+
 def run(
     *,
     node_sizes: tuple[int, ...] = DEFAULT_NODE_SIZES,
@@ -104,41 +136,33 @@ def run(
     n_queries: int = 300,
     inserts_per_buffer_fill: float = 4.0,
     max_inserts: int = 100_000,
+    warmup_queries: int = 200,
     seed: int = 0,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> BeTreeNodeSizeResult:
     """Sweep node sizes over a freshly loaded Bε-tree on the default HDD."""
-    pairs, keys = build_load(n_entries, universe, seed=seed)
+    spec = sweep_spec(
+        node_sizes=tuple(node_sizes),
+        n_entries=n_entries,
+        cache_bytes=cache_bytes,
+        fanout=fanout,
+        universe=universe,
+        n_queries=n_queries,
+        inserts_per_buffer_fill=inserts_per_buffer_fill,
+        max_inserts=max_inserts,
+        warmup_queries=warmup_queries,
+        seed=seed,
+    )
     result = BeTreeNodeSizeResult(
         node_sizes=tuple(node_sizes),
         n_entries=n_entries,
         cache_bytes=cache_bytes,
         fanout=fanout,
     )
-    for node_bytes in node_sizes:
-        device = default_hdd(seed=seed + node_bytes % 97)
-        storage = StorageStack(device, cache_bytes)
-        config = BeTreeConfig(node_bytes=node_bytes, fanout=fanout)
-        tree = OptimizedBeTree(storage, config)
-        tree.bulk_load(pairs)
-        # Pre-fill the (empty-after-load) root buffer with unmeasured
-        # inserts, then measure over enough further inserts to cover flush
-        # cascades — Bε insert cost only exists as an amortized quantity.
-        buffer_msgs = config.buffer_budget_bytes // config.fmt.message_bytes
-        from repro.workloads.generators import insert_stream
-
-        for key, value in insert_stream(universe, min(buffer_msgs, max_inserts), seed=seed + 7):
-            tree.insert(key, value)
-        n_inserts = min(max_inserts, max(3000, int(inserts_per_buffer_fill * buffer_msgs)))
-        times = measure_tree_ops(
-            tree,
-            keys,
-            universe,
-            n_queries=n_queries,
-            n_inserts=n_inserts,
-            seed=seed,
-        )
-        result.query_ms.append(times.query_seconds_per_op * 1e3)
-        result.insert_ms.append(times.insert_seconds_per_op * 1e3)
+    for point in run_sweep(spec, jobs=jobs, cache=cache):
+        result.query_ms.append(point["query_ms"])
+        result.insert_ms.append(point["insert_ms"])
     result.query_fit = fit_affine_overlay(
         list(node_sizes), [v / 1e3 for v in result.query_ms], kind="betree_query"
     )

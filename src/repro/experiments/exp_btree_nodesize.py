@@ -17,10 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.fitting import OverlayFit, fit_affine_overlay
 from repro.experiments import report
-from repro.experiments.common import build_load, measure_tree_ops
-from repro.experiments.devices import default_hdd
-from repro.storage.stack import StorageStack
-from repro.trees.btree import BTree, BTreeConfig
+from repro.runner import ResultCache, SweepPoint, SweepSpec, run_sweep
 
 DEFAULT_NODE_SIZES = (4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20)
 
@@ -87,6 +84,37 @@ class BTreeNodeSizeResult:
         return self.node_sizes[min(range(len(self.insert_ms)), key=self.insert_ms.__getitem__)]
 
 
+def sweep_spec(
+    *,
+    node_sizes: tuple[int, ...] = DEFAULT_NODE_SIZES,
+    n_entries: int = 300_000,
+    cache_bytes: int = 8 << 20,
+    universe: int = 1 << 31,
+    n_queries: int = 400,
+    n_inserts: int = 400,
+    warmup_queries: int = 200,
+    seed: int = 0,
+) -> SweepSpec:
+    """The E5 sweep: one ``btree_nodesize_point`` per node size."""
+    return SweepSpec.make(
+        "btree_nodesize",
+        [
+            SweepPoint.make(
+                "btree_nodesize_point",
+                node_bytes=node_bytes,
+                n_entries=n_entries,
+                cache_bytes=cache_bytes,
+                universe=universe,
+                n_queries=n_queries,
+                n_inserts=n_inserts,
+                warmup_queries=warmup_queries,
+                seed=seed,
+            )
+            for node_bytes in node_sizes
+        ],
+    )
+
+
 def run(
     *,
     node_sizes: tuple[int, ...] = DEFAULT_NODE_SIZES,
@@ -95,28 +123,28 @@ def run(
     universe: int = 1 << 31,
     n_queries: int = 400,
     n_inserts: int = 400,
+    warmup_queries: int = 200,
     seed: int = 0,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> BTreeNodeSizeResult:
     """Sweep node sizes over a freshly loaded B-tree on the default HDD."""
-    pairs, keys = build_load(n_entries, universe, seed=seed)
+    spec = sweep_spec(
+        node_sizes=tuple(node_sizes),
+        n_entries=n_entries,
+        cache_bytes=cache_bytes,
+        universe=universe,
+        n_queries=n_queries,
+        n_inserts=n_inserts,
+        warmup_queries=warmup_queries,
+        seed=seed,
+    )
     result = BTreeNodeSizeResult(
         node_sizes=tuple(node_sizes), n_entries=n_entries, cache_bytes=cache_bytes
     )
-    for node_bytes in node_sizes:
-        device = default_hdd(seed=seed + node_bytes % 97)
-        storage = StorageStack(device, cache_bytes)
-        tree = BTree(storage, BTreeConfig(node_bytes=node_bytes))
-        tree.bulk_load(pairs)
-        times = measure_tree_ops(
-            tree,
-            keys,
-            universe,
-            n_queries=n_queries,
-            n_inserts=n_inserts,
-            seed=seed,
-        )
-        result.query_ms.append(times.query_seconds_per_op * 1e3)
-        result.insert_ms.append(times.insert_seconds_per_op * 1e3)
+    for point in run_sweep(spec, jobs=jobs, cache=cache):
+        result.query_ms.append(point["query_ms"])
+        result.insert_ms.append(point["insert_ms"])
     result.query_fit = fit_affine_overlay(
         list(node_sizes), [v / 1e3 for v in result.query_ms], kind="btree"
     )

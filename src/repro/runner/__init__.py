@@ -1,0 +1,38 @@
+"""repro.runner — parallel sweep execution with content-addressed caching.
+
+The runner turns an experiment's inner loop into data: a
+:class:`~repro.runner.spec.SweepSpec` of pure, fully-parameterized
+:class:`~repro.runner.spec.SweepPoint`\\ s, executed by
+:func:`~repro.runner.executor.run_sweep` serially or across cores with
+bit-identical results, and memoized on disk by
+:class:`~repro.runner.cache.ResultCache`.  See docs/runner.md.
+"""
+
+from repro.runner.cache import (
+    CACHE_DIR_ENV,
+    CACHE_EPOCH,
+    MISS,
+    ResultCache,
+    default_cache_dir,
+    fingerprint,
+)
+from repro.runner.executor import SweepReport, resolve_jobs, run_sweep
+from repro.runner.kernels import get_kernel, kernel_names, register
+from repro.runner.spec import SweepPoint, SweepSpec
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_EPOCH",
+    "MISS",
+    "ResultCache",
+    "SweepPoint",
+    "SweepReport",
+    "SweepSpec",
+    "default_cache_dir",
+    "fingerprint",
+    "get_kernel",
+    "kernel_names",
+    "register",
+    "resolve_jobs",
+    "run_sweep",
+]

@@ -1,0 +1,112 @@
+"""Sweep executor: serial or multiprocess, with optional result caching.
+
+The contract is strict determinism: :func:`run_sweep` returns results in
+spec order, and every result is bit-identical whether it was computed in
+this process, in a worker, or read back from the cache.  Kernels make
+that possible by being pure functions of their parameters; the executor
+makes it visible by never letting scheduling order leak into output
+order.
+
+Worker processes are forked (Linux), so kernels and their imports are
+inherited rather than re-imported; the payload crossing the pipe is just
+``(kernel_name, params_dict)`` and the pickled result coming back.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.runner.cache import ResultCache
+from repro.runner.kernels import get_kernel
+from repro.runner.spec import SweepSpec
+
+
+@dataclass
+class SweepReport:
+    """What a sweep run did, alongside its results."""
+
+    spec_name: str
+    n_points: int
+    n_cached: int = 0
+    n_computed: int = 0
+    jobs: int = 1
+    fingerprints: tuple[str, ...] = field(default=())
+
+    def summary(self) -> str:
+        return (
+            f"sweep {self.spec_name}: {self.n_points} points "
+            f"({self.n_cached} cached, {self.n_computed} computed, jobs={self.jobs})"
+        )
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: None/0 -> all cores, else max(1, jobs)."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def _compute(payload: tuple[str, dict[str, Any]]) -> Any:
+    """Worker entry point: run one kernel.  Module-level for picklability."""
+    kernel_name, params = payload
+    return get_kernel(kernel_name)(**params)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    report: SweepReport | None = None,
+) -> list[Any]:
+    """Execute every point in ``spec``; results in spec order.
+
+    ``jobs=1`` computes in-process; ``jobs>1`` fans uncached points over a
+    fork-context :class:`multiprocessing.Pool`.  When ``cache`` is given,
+    points whose fingerprint is present are read back instead of computed,
+    and fresh results are stored after computing.
+    """
+    jobs = resolve_jobs(jobs)
+    results: list[Any] = [None] * len(spec.points)
+    pending: list[int] = []  # spec indices that must be computed
+    fingerprints: list[str] = []
+
+    for i, point in enumerate(spec.points):
+        fp = point.fingerprint()
+        fingerprints.append(fp)
+        if cache is not None:
+            value = cache.get(fp)
+            if not ResultCache.is_miss(value):
+                results[i] = value
+                continue
+        pending.append(i)
+
+    payloads = [
+        (spec.points[i].kernel, spec.points[i].param_dict()) for i in pending
+    ]
+    if payloads:
+        if jobs > 1 and len(payloads) > 1:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(processes=min(jobs, len(payloads))) as pool:
+                computed = pool.map(_compute, payloads)
+        else:
+            computed = [_compute(p) for p in payloads]
+        for i, value in zip(pending, computed):
+            results[i] = value
+            if cache is not None:
+                cache.put(fingerprints[i], value)
+
+    if report is not None:
+        report.spec_name = spec.name
+        report.n_points = len(spec.points)
+        report.n_cached = len(spec.points) - len(pending)
+        report.n_computed = len(pending)
+        report.jobs = jobs
+        report.fingerprints = tuple(fingerprints)
+    return results

@@ -1,0 +1,75 @@
+"""Sweep specifications: what an experiment wants computed, point by point.
+
+A :class:`SweepPoint` is one self-contained unit of work — a registered
+kernel name plus every parameter that computation depends on (device
+identity and seed included).  Nothing is inherited from ambient state:
+the executor can hand a point to any worker process, or look its result
+up by content address, and get bit-identical output either way.
+
+A :class:`SweepSpec` is an ordered tuple of points.  Results always come
+back in spec order, whatever the worker count, which is what makes
+``--jobs N`` invisible in experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import ConfigurationError
+from repro.runner.cache import CACHE_EPOCH, fingerprint
+
+
+def _freeze(value: Any) -> Any:
+    """Deep-convert parameter values to hashable form (lists -> tuples)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        raise ConfigurationError("sweep params must be flat; nest via tuples instead")
+    if isinstance(value, bool) or value is None or isinstance(value, (int, float, str)):
+        return value
+    raise ConfigurationError(
+        f"unsupported sweep parameter {value!r} of type {type(value).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One kernel invocation, fully described by its parameters."""
+
+    kernel: str
+    params: tuple[tuple[str, Any], ...]  # sorted (name, value) pairs
+
+    @classmethod
+    def make(cls, kernel: str, **params: Any) -> "SweepPoint":
+        """Build a point, canonicalizing parameter order and value types."""
+        if not kernel:
+            raise ConfigurationError("kernel name must be non-empty")
+        frozen = tuple(sorted((k, _freeze(v)) for k, v in params.items()))
+        return cls(kernel=kernel, params=frozen)
+
+    def param_dict(self) -> dict[str, Any]:
+        """Parameters as a plain dict (what the kernel is called with)."""
+        return dict(self.params)
+
+    def fingerprint(self, *, epoch: int = CACHE_EPOCH) -> str:
+        """Content address of this point under the given cache epoch."""
+        return fingerprint(self.kernel, self.param_dict(), epoch=epoch)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """An ordered, named collection of sweep points."""
+
+    name: str
+    points: tuple[SweepPoint, ...]
+
+    @classmethod
+    def make(cls, name: str, points: Iterable[SweepPoint]) -> "SweepSpec":
+        pts = tuple(points)
+        if not pts:
+            raise ConfigurationError(f"sweep {name!r} has no points")
+        return cls(name=name, points=pts)
+
+    def __len__(self) -> int:
+        return len(self.points)

@@ -12,16 +12,22 @@ Lemma 3).
 
 Objects are arbitrary Python values; the cache tracks their device extent
 ``(offset, nbytes)`` and charges the device on miss (read) and on dirty
-eviction (write).  Evicted objects are retained in a side "disk image" map
-— devices in this repository price IO time but do not store bytes (see
-:mod:`repro.storage.device`).
+eviction (write).  Evicted objects are retained as non-resident "disk
+images" — devices in this repository price IO time but do not store bytes
+(see :mod:`repro.storage.device`).
+
+Implementation: one dict maps node id to an intrusive :class:`_Entry`
+that is simultaneously the cache record, the disk image, and a link in a
+doubly-linked LRU list of the resident entries.  A lookup is one dict hit
+plus a pointer splice; eviction and re-admission flip a residency bit on
+the same object instead of shuttling tuples between two maps, so the
+steady-state hot path (hit, miss, evict) allocates nothing.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable
+from typing import Any, Hashable, Iterator
 
 from repro.errors import CacheError, ConfigurationError
 from repro.storage.device import BlockDevice
@@ -46,16 +52,39 @@ class CacheStats:
         """Fraction of lookups served from cache (0 if none yet)."""
         return self.hits / self.accesses if self.accesses else 0.0
 
+    def reset(self) -> None:
+        """Zero every counter in place.
+
+        Experiments call this at a phase boundary (e.g. after cache warm-up)
+        so reported hit rates describe only the measured phase.
+        """
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
 
 class _Entry:
-    __slots__ = ("obj", "offset", "nbytes", "dirty", "pins")
+    """One node, resident or evicted, threaded into the LRU list when resident.
 
-    def __init__(self, obj: Any, offset: int, nbytes: int, dirty: bool) -> None:
+    ``prev``/``next`` are only meaningful while ``resident`` is true; the
+    list order is LRU at the head side, MRU at the tail side, matching the
+    iteration order the previous ``OrderedDict`` implementation exposed.
+    """
+
+    __slots__ = ("node_id", "obj", "offset", "nbytes", "dirty", "pins",
+                 "resident", "prev", "next")
+
+    def __init__(self, node_id: Hashable, obj: Any, offset: int, nbytes: int, dirty: bool) -> None:
+        self.node_id = node_id
         self.obj = obj
         self.offset = offset
         self.nbytes = nbytes
         self.dirty = dirty
         self.pins = 0
+        self.resident = False
+        self.prev: "_Entry | None" = None
+        self.next: "_Entry | None" = None
 
 
 class BufferCache:
@@ -76,64 +105,110 @@ class BufferCache:
         self.device = device
         self.capacity_bytes = int(capacity_bytes)
         self.stats = CacheStats()
-        self._entries: OrderedDict[Hashable, _Entry] = OrderedDict()  # LRU order
-        self._disk: dict[Hashable, tuple[Any, int, int]] = {}  # evicted images
+        self._index: dict[Hashable, _Entry] = {}
+        # LRU list sentinel: _root.next is the LRU end, _root.prev the MRU end.
+        self._root = _Entry(None, None, 0, 1, dirty=False)
+        self._root.prev = self._root
+        self._root.next = self._root
+        self._n_resident = 0
         self.cached_bytes = 0
         self.io_seconds = 0.0  # simulated device time charged through this cache
 
-    # -- internals -----------------------------------------------------------
+    # -- LRU list internals ---------------------------------------------------
+
+    def _link_mru(self, entry: _Entry) -> None:
+        """Splice ``entry`` in at the MRU end and mark it resident."""
+        tail = self._root.prev
+        entry.prev = tail
+        entry.next = self._root
+        tail.next = entry
+        self._root.prev = entry
+        entry.resident = True
+        self._n_resident += 1
+
+    def _unlink(self, entry: _Entry) -> None:
+        """Remove ``entry`` from the LRU list and mark it non-resident."""
+        entry.prev.next = entry.next
+        entry.next.prev = entry.prev
+        entry.prev = None
+        entry.next = None
+        entry.resident = False
+        self._n_resident -= 1
+
+    def _touch(self, entry: _Entry) -> None:
+        """Move a resident entry to the MRU end."""
+        if entry.next is self._root:
+            return  # already MRU
+        entry.prev.next = entry.next
+        entry.next.prev = entry.prev
+        tail = self._root.prev
+        entry.prev = tail
+        entry.next = self._root
+        tail.next = entry
+        self._root.prev = entry
+
+    def _resident_lru_order(self) -> Iterator[_Entry]:
+        """Resident entries, least recently used first."""
+        entry = self._root.next
+        while entry is not self._root:
+            nxt = entry.next  # survive unlinking of `entry` mid-iteration
+            yield entry
+            entry = nxt
+
+    # -- eviction internals ---------------------------------------------------
 
     def _evict_until_fits(self) -> None:
-        while self.cached_bytes > self.capacity_bytes and len(self._entries) > 1:
-            victim_id = next(
-                (k for k, e in self._entries.items() if e.pins == 0), None
+        while self.cached_bytes > self.capacity_bytes and self._n_resident > 1:
+            victim = next(
+                (e for e in self._resident_lru_order() if e.pins == 0), None
             )
-            if victim_id is None:
+            if victim is None:
                 raise CacheError("cache over budget but every entry is pinned")
-            self._evict(victim_id)
+            self._evict(victim)
 
-    def _evict(self, node_id: Hashable) -> None:
-        entry = self._entries.pop(node_id)
+    def _evict(self, entry: _Entry) -> None:
+        self._unlink(entry)
         if entry.dirty:
             self.io_seconds += self.device.write(entry.offset, entry.nbytes)
             self.stats.dirty_evictions += 1
+            entry.dirty = False
         self.stats.evictions += 1
         self.cached_bytes -= entry.nbytes
-        self._disk[node_id] = (entry.obj, entry.offset, entry.nbytes)
 
     # -- public API ------------------------------------------------------------
 
     def contains(self, node_id: Hashable) -> bool:
         """True if ``node_id`` is currently resident (no LRU effect)."""
-        return node_id in self._entries
+        entry = self._index.get(node_id)
+        return entry is not None and entry.resident
 
     def get(self, node_id: Hashable) -> Any:
         """Fetch a node, charging a device read on miss."""
-        entry = self._entries.get(node_id)
-        if entry is not None:
+        entry = self._index.get(node_id)
+        if entry is not None and entry.resident:
             self.stats.hits += 1
-            self._entries.move_to_end(node_id)
+            self._touch(entry)
             return entry.obj
         self.stats.misses += 1
-        try:
-            obj, offset, nbytes = self._disk.pop(node_id)
-        except KeyError:
-            raise CacheError(f"unknown node id {node_id!r}") from None
-        self.io_seconds += self.device.read(offset, nbytes)
-        self._entries[node_id] = _Entry(obj, offset, nbytes, dirty=False)
-        self.cached_bytes += nbytes
+        if entry is None:
+            raise CacheError(f"unknown node id {node_id!r}")
+        self.io_seconds += self.device.read(entry.offset, entry.nbytes)
+        self._link_mru(entry)
+        self.cached_bytes += entry.nbytes
         self._evict_until_fits()
-        return obj
+        return entry.obj
 
     def insert(
         self, node_id: Hashable, obj: Any, offset: int, nbytes: int, *, dirty: bool = True
     ) -> None:
         """Add a brand-new node (e.g. from a split), resident and dirty."""
-        if node_id in self._entries or node_id in self._disk:
+        if node_id in self._index:
             raise CacheError(f"node id {node_id!r} already exists")
         if nbytes <= 0:
             raise CacheError(f"node size must be positive, got {nbytes}")
-        self._entries[node_id] = _Entry(obj, offset, nbytes, dirty=dirty)
+        entry = _Entry(node_id, obj, offset, nbytes, dirty=dirty)
+        self._index[node_id] = entry
+        self._link_mru(entry)
         self.cached_bytes += nbytes
         self._evict_until_fits()
 
@@ -155,39 +230,46 @@ class BufferCache:
         """
         if nbytes <= 0:
             raise CacheError(f"node size must be positive, got {nbytes}")
-        entry = self._entries.get(node_id)
-        if entry is not None:
+        entry = self._index.get(node_id)
+        if entry is not None and entry.resident:
             self.cached_bytes += nbytes - entry.nbytes
             entry.obj = obj
             entry.offset = offset
             entry.nbytes = nbytes
             entry.dirty = entry.dirty or dirty
-            self._entries.move_to_end(node_id)
+            self._touch(entry)
         else:
-            self._disk.pop(node_id, None)
-            self._entries[node_id] = _Entry(obj, offset, nbytes, dirty=dirty)
+            if entry is None:
+                entry = _Entry(node_id, obj, offset, nbytes, dirty=dirty)
+                self._index[node_id] = entry
+            else:
+                entry.obj = obj
+                entry.offset = offset
+                entry.nbytes = nbytes
+                entry.dirty = dirty
+            self._link_mru(entry)
             self.cached_bytes += nbytes
         self._evict_until_fits()
 
     def mark_dirty(self, node_id: Hashable) -> None:
         """Record that a resident node's contents changed."""
-        entry = self._entries.get(node_id)
-        if entry is None:
+        entry = self._index.get(node_id)
+        if entry is None or not entry.resident:
             raise CacheError(f"cannot dirty non-resident node {node_id!r}")
         entry.dirty = True
-        self._entries.move_to_end(node_id)
+        self._touch(entry)
 
     def mark_clean(self, node_id: Hashable) -> None:
         """Clear a resident node's dirty bit (caller wrote it back itself)."""
-        entry = self._entries.get(node_id)
-        if entry is None:
+        entry = self._index.get(node_id)
+        if entry is None or not entry.resident:
             raise CacheError(f"cannot clean non-resident node {node_id!r}")
         entry.dirty = False
 
     def update_extent(self, node_id: Hashable, offset: int, nbytes: int) -> None:
         """Change a resident node's device extent (after a realloc)."""
-        entry = self._entries.get(node_id)
-        if entry is None:
+        entry = self._index.get(node_id)
+        if entry is None or not entry.resident:
             raise CacheError(f"cannot relocate non-resident node {node_id!r}")
         if nbytes <= 0:
             raise CacheError(f"node size must be positive, got {nbytes}")
@@ -195,47 +277,48 @@ class BufferCache:
         entry.offset = offset
         entry.nbytes = nbytes
         entry.dirty = True
-        self._entries.move_to_end(node_id)
+        self._touch(entry)
         self._evict_until_fits()
 
     def pin(self, node_id: Hashable) -> None:
         """Prevent eviction of a resident node until unpinned."""
-        entry = self._entries.get(node_id)
-        if entry is None:
+        entry = self._index.get(node_id)
+        if entry is None or not entry.resident:
             raise CacheError(f"cannot pin non-resident node {node_id!r}")
         entry.pins += 1
 
     def unpin(self, node_id: Hashable) -> None:
         """Release one pin."""
-        entry = self._entries.get(node_id)
-        if entry is None or entry.pins == 0:
+        entry = self._index.get(node_id)
+        if entry is None or not entry.resident or entry.pins == 0:
             raise CacheError(f"unpin of unpinned node {node_id!r}")
         entry.pins -= 1
 
     def delete(self, node_id: Hashable) -> None:
         """Drop a node entirely (after a merge frees it); no write-back."""
-        entry = self._entries.pop(node_id, None)
-        if entry is not None:
-            self.cached_bytes -= entry.nbytes
-            return
-        if self._disk.pop(node_id, None) is None:
+        entry = self._index.pop(node_id, None)
+        if entry is None:
             raise CacheError(f"unknown node id {node_id!r}")
+        if entry.resident:
+            self._unlink(entry)
+            self.cached_bytes -= entry.nbytes
 
     def extent_of(self, node_id: Hashable) -> tuple[int, int]:
         """The ``(offset, nbytes)`` extent of a node, resident or not."""
-        entry = self._entries.get(node_id)
-        if entry is not None:
-            return entry.offset, entry.nbytes
-        try:
-            _, offset, nbytes = self._disk[node_id]
-        except KeyError:
-            raise CacheError(f"unknown node id {node_id!r}") from None
-        return offset, nbytes
+        entry = self._index.get(node_id)
+        if entry is None:
+            raise CacheError(f"unknown node id {node_id!r}")
+        return entry.offset, entry.nbytes
 
     def flush(self) -> float:
-        """Write back every dirty resident node; returns device seconds."""
+        """Write back every dirty resident node; returns device seconds.
+
+        Write-back order is LRU-first — the same order the previous
+        ``OrderedDict`` implementation flushed in, which matters because
+        write order drives seek distances on mechanical devices.
+        """
         spent = 0.0
-        for entry in self._entries.values():
+        for entry in self._resident_lru_order():
             if entry.dirty:
                 dt = self.device.write(entry.offset, entry.nbytes)
                 spent += dt
@@ -249,13 +332,22 @@ class BufferCache:
         Used between the load phase and the measured phase of experiments to
         start from a cold cache.
         """
-        for node_id in [k for k, e in self._entries.items() if e.pins == 0]:
-            self._evict(node_id)
+        for entry in self._resident_lru_order():
+            if entry.pins == 0:
+                self._evict(entry)
 
     def check_invariants(self) -> None:
-        """Assert byte accounting and id-disjointness (property tests)."""
-        assert self.cached_bytes == sum(e.nbytes for e in self._entries.values())
-        assert not (set(self._entries) & set(self._disk)), "id in both cache and disk"
+        """Assert byte accounting, list integrity and residency consistency."""
+        resident = [e for e in self._index.values() if e.resident]
+        assert self.cached_bytes == sum(e.nbytes for e in resident)
+        walked = list(self._resident_lru_order())
+        assert len(walked) == self._n_resident == len(resident)
+        assert {id(e) for e in walked} == {id(e) for e in resident}
+        for e in walked:
+            assert e.next.prev is e and e.prev.next is e
+        for e in self._index.values():
+            if not e.resident:
+                assert e.prev is None and e.next is None and e.pins == 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._n_resident

@@ -23,6 +23,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.errors import InvalidIOError
 
@@ -208,6 +209,32 @@ class BlockDevice(ABC):
         if self.sampler is not None:
             self.sampler.record(nbytes, elapsed, "write")
         return elapsed
+
+    def read_batch(self, offsets: "Sequence[int]", nbytes: int) -> list[float]:
+        """Serially read ``nbytes`` at each offset; per-IO elapsed seconds.
+
+        Semantically identical to calling :meth:`read` once per offset, in
+        order — same clock advance, same counters, same trace, same RNG
+        stream on stochastic devices.  Subclasses override it to vectorize
+        the homogeneous-size timing math (the probe and E3 hot path) while
+        preserving that bit-for-bit equivalence.  Offsets are validated up
+        front, so an invalid batch raises before any IO is charged.
+        """
+        for offset in offsets:
+            self._check(offset, nbytes)
+        return [self.read(offset, nbytes) for offset in offsets]
+
+    def describe(self) -> dict[str, object]:
+        """Stable, JSON-able identity of this device's timing behavior.
+
+        Used to fingerprint calibration results: two devices with equal
+        descriptions produce identical IO timings from a fresh reset.
+        Subclasses extend the dict with their model/geometry parameters.
+        """
+        return {
+            "type": type(self).__name__,
+            "capacity_bytes": self.capacity_bytes,
+        }
 
     def enable_sampling(self, capacity: int = 256) -> IOSampler:
         """Attach (or resize) the passive IO sampler; returns it."""

@@ -17,7 +17,7 @@ from typing import Sequence
 from repro.errors import ConfigurationError, InvalidIOError
 from repro.models.affine import AffineModel
 from repro.models.pdam import PDAMModel
-from repro.storage.device import BlockDevice
+from repro.storage.device import BlockDevice, IORecord
 
 
 class AffineDevice(BlockDevice):
@@ -69,6 +69,54 @@ class AffineDevice(BlockDevice):
 
     def _service_write(self, offset: int, nbytes: int, at: float) -> float:
         return self._service(offset, nbytes, at, self.write_multiplier)
+
+    def read_batch(self, offsets, nbytes: int) -> list[float]:
+        """Homogeneous read batch with the per-IO model math hoisted out.
+
+        An affine IO of fixed size costs the same every time (modulo the
+        sequential-setup waiver), so the batch path computes the two
+        possible costs once and runs only the clock/stat bookkeeping per
+        IO — in the same float-operation order as :meth:`BlockDevice.read`,
+        keeping results bit-identical to a serial loop.
+        """
+        offs = [int(o) for o in offsets]
+        if not offs:
+            return []
+        for off in offs:
+            self._check(off, nbytes)
+        transfer = self.model.seconds_per_byte * nbytes
+        cost_nonseq = 1.0 * (self.model.setup_seconds + transfer)
+        cost_seq = 1.0 * (0.0 + transfer)
+        stats = self.stats
+        expected = self._next_sequential_offset
+        out: list[float] = []
+        for off in offs:
+            sequential = self.sequential_detection and off == expected
+            start = self.clock
+            end = start + (cost_seq if sequential else cost_nonseq)
+            elapsed = end - start
+            self.clock = end
+            stats.reads += 1
+            stats.bytes_read += nbytes
+            stats.read_seconds += elapsed
+            if self._trace_enabled:
+                self.trace.append(IORecord("read", off, nbytes, start, end))
+            if self.sampler is not None:
+                self.sampler.record(nbytes, elapsed, "read")
+            out.append(elapsed)
+            expected = off + nbytes
+        self._next_sequential_offset = expected
+        return out
+
+    def describe(self) -> dict[str, object]:
+        d = super().describe()
+        d.update(
+            setup_seconds=self.model.setup_seconds,
+            seconds_per_byte=self.model.seconds_per_byte,
+            sequential_detection=self.sequential_detection,
+            write_multiplier=self.write_multiplier,
+        )
+        return d
 
     def reset(self) -> None:
         super().reset()
@@ -172,6 +220,15 @@ class PDAMDevice(BlockDevice):
         if offset < 0 or offset >= self.capacity_bytes:
             raise InvalidIOError(f"offset {offset} out of range")
         return offset // self.block_bytes
+
+    def describe(self) -> dict[str, object]:
+        d = super().describe()
+        d.update(
+            parallelism=self.parallelism,
+            block_bytes=self.block_bytes,
+            step_seconds=self.model.step_seconds,
+        )
+        return d
 
     def reset(self) -> None:
         super().reset()

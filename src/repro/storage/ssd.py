@@ -206,9 +206,28 @@ class SimulatedSSD(BlockDevice):
 
         This is the simulated analogue of the paper's "spawn p threads, each
         reads 10 GiB" benchmark: each client keeps one request outstanding.
+        A single-die device is one FIFO resource end to end, so it takes the
+        runner's heap-free fast path.
         """
-        runner = ClosedLoopRunner(self.service_request)
+        runner = ClosedLoopRunner(
+            self.service_request,
+            single_server=self.geometry.total_dies == 1,
+        )
         return runner.run_makespan(client_streams)
+
+    def describe(self) -> dict[str, object]:
+        d = super().describe()
+        g = self.geometry
+        d.update(
+            channels=g.channels,
+            dies_per_channel=g.dies_per_channel,
+            page_bytes=g.page_bytes,
+            stripe_bytes=g.stripe_bytes,
+            page_read_seconds=g.page_read_seconds,
+            page_program_seconds=g.page_program_seconds,
+            channel_transfer_seconds=g.channel_transfer_seconds,
+        )
+        return d
 
     def reset(self) -> None:
         """Reset clock, counters and all die/channel timelines."""

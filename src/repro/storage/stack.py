@@ -97,6 +97,14 @@ class StorageStack:
         """Write back all dirty nodes; returns simulated seconds spent."""
         return self.cache.flush()
 
-    def drop_cache(self) -> None:
-        """Write back dirty nodes and start cold (between experiment phases)."""
+    def drop_cache(self, *, reset_stats: bool = False) -> None:
+        """Write back dirty nodes and start cold (between experiment phases).
+
+        With ``reset_stats=True`` the cache's hit/miss/eviction counters are
+        zeroed *after* the evictions, so a subsequent measured phase reports
+        hit rates unpolluted by the load and warm-up traffic.  The default
+        keeps the counters, preserving whole-run accounting.
+        """
         self.cache.drop_clean()
+        if reset_stats:
+            self.cache.stats.reset()

@@ -38,6 +38,37 @@ from repro.tuning.reconfigure import (
 )
 from repro.tuning.solve import Recommendation, solve
 
+from repro.runner.cache import ResultCache, fingerprint as _runner_fingerprint
+
+
+def _calibration_fingerprint(
+    device: BlockDevice,
+    *,
+    io_sizes: tuple[int, ...],
+    reads_per_size: int,
+    threads: tuple[int, ...],
+    bytes_per_thread: int,
+    request_bytes: int,
+    min_r2: float,
+    seed: int,
+    max_probe_rounds: int,
+) -> str:
+    """Content address of one calibration run on a fresh device."""
+    return _runner_fingerprint(
+        "autotuner_calibrate",
+        {
+            "device": device.describe(),
+            "io_sizes": list(io_sizes),
+            "reads_per_size": reads_per_size,
+            "threads": list(threads),
+            "bytes_per_thread": bytes_per_thread,
+            "request_bytes": request_bytes,
+            "min_r2": min_r2,
+            "seed": seed,
+            "max_probe_rounds": max_probe_rounds,
+        },
+    )
+
 
 def estimate_migration_seconds(
     profile: DeviceProfile,
@@ -88,6 +119,7 @@ class AutoTuner:
         min_r2: float = 0.98,
         seed: int = 0,
         max_probe_rounds: int = 3,
+        cache: "ResultCache | None" = None,
     ) -> None:
         if not 0.0 < min_r2 <= 1.0:
             raise ConfigurationError(f"min_r2 must be in (0, 1], got {min_r2}")
@@ -100,6 +132,7 @@ class AutoTuner:
         self.min_r2 = float(min_r2)
         self.seed = int(seed)
         self.max_probe_rounds = int(max_probe_rounds)
+        self.cache = cache
         self.profile: DeviceProfile | None = None
 
     # -- probe + fit -------------------------------------------------------
@@ -120,7 +153,32 @@ class AutoTuner:
         ``reads_per_size`` so the sample mean tightens.  The last round's
         profile is kept even if it misses the gate — callers can check
         ``profile.confident()`` when they need the distinction.
+
+        When the tuner was built with a result ``cache``, the fitted
+        profile is memoized under the device's :meth:`describe` identity
+        plus every probe parameter.  **Caveat:** a cache hit skips the
+        probe IOs entirely, so the device's clock, RNG stream and head
+        position are left untouched instead of advanced — only reuse the
+        cache on a *fresh* device (or when downstream work does not depend
+        on device state), never mid-measurement.
         """
+        fp: str | None = None
+        if self.cache is not None:
+            fp = _calibration_fingerprint(
+                self.device,
+                io_sizes=io_sizes,
+                reads_per_size=reads_per_size,
+                threads=threads,
+                bytes_per_thread=bytes_per_thread,
+                request_bytes=request_bytes,
+                min_r2=self.min_r2,
+                seed=self.seed,
+                max_probe_rounds=self.max_probe_rounds,
+            )
+            cached = self.cache.get(fp)
+            if not self.cache.is_miss(cached):
+                self.profile = cached
+                return cached
         rps = reads_per_size
         profile: DeviceProfile | None = None
         for round_idx in range(self.max_probe_rounds):
@@ -138,6 +196,8 @@ class AutoTuner:
                 break
             rps *= 2
         assert profile is not None
+        if self.cache is not None and fp is not None:
+            self.cache.put(fp, profile)
         self.profile = profile
         return profile
 

@@ -81,8 +81,9 @@ def probe_affine(
     for nbytes in io_sizes:
         hi = device.capacity_bytes - nbytes
         offsets = rng.integers(0, hi // 512 + 1, size=reads_per_size) * 512
-        for off in offsets:
-            elapsed = device.read(int(off), int(nbytes))
+        # Batched issue: devices vectorize the homogeneous-size timing math
+        # while staying bit-identical to one read() call per offset.
+        for elapsed in device.read_batch([int(o) for o in offsets], int(nbytes)):
             sizes.append(int(nbytes))
             secs.append(elapsed)
             total += elapsed

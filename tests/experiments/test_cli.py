@@ -37,3 +37,26 @@ class TestCLI:
         with pytest.raises(SystemExit) as exc:
             main(["--help"])
         assert exc.value.code == 0
+
+
+class TestRunnerFlags:
+    def test_jobs_and_no_cache_smoke(self, capsys):
+        assert main(["table2", "--jobs", "2", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+    def test_cache_dir_env_is_honored(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["table2"]) == 0
+        first = capsys.readouterr().out
+        assert any((tmp_path / "cache").iterdir())
+        assert main(["table2"]) == 0  # warm rerun, same table
+        second = capsys.readouterr().out
+        table = lambda s: s[: s.index("[table2")]
+        assert table(first) == table(second)
+
+    def test_profile_prints_cumulative_stats(self, capsys):
+        assert main(["optima", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out
+        assert "Corollaries" in out

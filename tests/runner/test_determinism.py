@@ -1,0 +1,86 @@
+"""Goldens: runner-migrated experiments are byte-identical at any job count.
+
+The golden files pin the *rendered report text* of small E3 and E6
+configurations.  Each test runs the experiment twice — serially and with
+four workers — and compares both outputs byte-for-byte against the
+checked-in golden, so a change that perturbs numbers, ordering, or
+formatting (including one smuggled in via the parallel path or the result
+cache) fails loudly.
+
+Regenerate after an *intentional* semantic change (and bump
+``repro.runner.cache.CACHE_EPOCH`` at the same time) with::
+
+    PYTHONPATH=src python tests/runner/test_determinism.py --regen
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import exp_affine_validation as e3
+from repro.experiments import exp_betree_nodesize as e6
+from repro.runner import ResultCache
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+# Two zoo disks, three IO sizes: seconds of runtime, full code path.
+E3_KWARGS = dict(
+    io_sizes=(4096, 65536, 1 << 20),
+    reads_per_size=8,
+    devices=("seagate-2tb-2002-sim", "wd-black-1tb-2011-sim"),
+    seed=0,
+)
+
+# Three node sizes (the overlay fit's minimum) on a small tree.
+E6_KWARGS = dict(
+    node_sizes=(65536, 262144, 1 << 20),
+    n_entries=5000,
+    cache_bytes=1 << 20,
+    n_queries=15,
+    max_inserts=500,
+    warmup_queries=50,
+    seed=0,
+)
+
+CASES = {
+    "e3_affine_validation.txt": (e3.run, E3_KWARGS),
+    "e6_betree_nodesize.txt": (e6.run, E6_KWARGS),
+}
+
+
+@pytest.mark.parametrize("golden_name", sorted(CASES))
+def test_serial_and_parallel_match_golden(golden_name):
+    run, kwargs = CASES[golden_name]
+    golden = (GOLDEN_DIR / golden_name).read_text()
+    serial = run(**kwargs, jobs=1).render() + "\n"
+    parallel = run(**kwargs, jobs=4).render() + "\n"
+    assert serial == golden, f"serial output drifted from {golden_name}"
+    assert parallel == golden, f"jobs=4 output differs from {golden_name}"
+
+
+def test_cached_rerun_matches_golden(tmp_path):
+    """A warm-cache rerun reproduces the golden byte-for-byte too."""
+    run, kwargs = CASES["e3_affine_validation.txt"]
+    golden = (GOLDEN_DIR / "e3_affine_validation.txt").read_text()
+    cache = ResultCache(tmp_path)
+    cold = run(**kwargs, cache=cache).render() + "\n"
+    warm = run(**kwargs, cache=cache).render() + "\n"
+    assert cold == golden
+    assert warm == golden
+    assert cache.hits == len(kwargs["devices"])
+
+
+def _regen() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, (run, kwargs) in CASES.items():
+        (GOLDEN_DIR / name).write_text(run(**kwargs, jobs=1).render() + "\n")
+        print(f"wrote {GOLDEN_DIR / name}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

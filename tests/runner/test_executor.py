@@ -1,0 +1,145 @@
+"""Executor semantics: ordering, caching, parallel equality, error paths."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner import (
+    MISS,
+    ResultCache,
+    SweepPoint,
+    SweepSpec,
+    SweepReport,
+    get_kernel,
+    register,
+    resolve_jobs,
+    run_sweep,
+)
+from repro.runner.cache import fingerprint
+
+
+# Module-level kernels: fork workers inherit these registrations.
+@register("test_square")
+def _square(*, x: int) -> int:
+    return x * x
+
+
+@register("test_payload")
+def _payload(*, tag: str, n: int) -> dict:
+    return {"tag": tag, "values": [n * i for i in range(3)]}
+
+
+def _spec(xs):
+    return SweepSpec.make("squares", [SweepPoint.make("test_square", x=x) for x in xs])
+
+
+class TestKernelsRegistry:
+    def test_get_registered(self):
+        assert get_kernel("test_square")(x=3) == 9
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_kernel("no_such_kernel")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ConfigurationError):
+            register("test_square")(lambda: None)
+
+    def test_experiment_kernels_registered(self):
+        for name in (
+            "affine_validation_device",
+            "btree_nodesize_point",
+            "betree_nodesize_point",
+            "autotune_device",
+        ):
+            get_kernel(name)
+
+
+class TestRunSweep:
+    def test_results_in_spec_order(self):
+        assert run_sweep(_spec([3, 1, 2])) == [9, 1, 4]
+
+    def test_parallel_matches_serial(self):
+        spec = _spec(range(8))
+        assert run_sweep(spec, jobs=4) == run_sweep(spec, jobs=1)
+
+    def test_report_counts(self):
+        report = SweepReport(spec_name="", n_points=0)
+        run_sweep(_spec([1, 2, 3]), report=report)
+        assert report.n_points == 3
+        assert report.n_computed == 3
+        assert report.n_cached == 0
+        assert len(report.fingerprints) == 3
+        assert "3 points" in report.summary()
+
+    def test_cache_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec([2, 3])
+        first = run_sweep(spec, cache=cache)
+        assert (cache.hits, cache.misses) == (0, 2)
+        report = SweepReport(spec_name="", n_points=0)
+        second = run_sweep(spec, cache=cache, report=report)
+        assert second == first
+        assert report.n_cached == 2 and report.n_computed == 0
+
+    def test_cache_shared_between_specs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(_spec([1, 2, 3]), cache=cache)
+        report = SweepReport(spec_name="", n_points=0)
+        run_sweep(_spec([2, 3, 4]), cache=cache, report=report)
+        assert report.n_cached == 2 and report.n_computed == 1
+
+    def test_parallel_with_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec(range(6))
+        serial = run_sweep(spec, jobs=1)
+        assert run_sweep(spec, jobs=3, cache=cache) == serial
+        assert run_sweep(spec, jobs=3, cache=cache) == serial
+        assert cache.hits == 6
+
+    def test_complex_values_pickle(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = SweepSpec.make(
+            "payloads", [SweepPoint.make("test_payload", tag="a", n=2)]
+        )
+        first = run_sweep(spec, cache=cache)
+        assert first == [{"tag": "a", "values": [0, 2, 4]}]
+        assert run_sweep(spec, cache=cache) == first
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep(_spec([1]), jobs=-1)
+
+    def test_jobs_zero_means_all_cores(self):
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) >= 1
+        assert run_sweep(_spec([2]), jobs=0) == [4]
+
+
+class TestResultCache:
+    def test_miss_sentinel(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        value = cache.get("0" * 64)
+        assert ResultCache.is_miss(value)
+        assert value is MISS
+
+    def test_none_is_a_valid_cached_value(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fp = fingerprint("k", {"x": 1})
+        cache.put(fp, None)
+        got = cache.get(fp)
+        assert got is None
+        assert not ResultCache.is_miss(got)
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fp = fingerprint("k", {"x": 2})
+        cache.put(fp, [1, 2, 3])
+        path = cache._path(fp)
+        path.write_bytes(b"not a pickle")
+        assert ResultCache.is_miss(cache.get(fp))
+
+    def test_two_level_fanout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fp = fingerprint("k", {"x": 3})
+        cache.put(fp, "v")
+        assert (tmp_path / fp[:2] / f"{fp}.pkl").exists()

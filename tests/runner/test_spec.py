@@ -1,0 +1,83 @@
+"""SweepPoint/SweepSpec canonicalization and fingerprint stability."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner import CACHE_EPOCH, SweepPoint, SweepSpec, fingerprint
+
+
+class TestSweepPoint:
+    def test_param_order_is_canonical(self):
+        a = SweepPoint.make("k", x=1, y=2)
+        b = SweepPoint.make("k", y=2, x=1)
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_lists_freeze_to_tuples(self):
+        a = SweepPoint.make("k", sizes=[1, 2, 3])
+        b = SweepPoint.make("k", sizes=(1, 2, 3))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_param_dict_round_trip(self):
+        p = SweepPoint.make("k", x=1, name="dev", flag=True)
+        assert p.param_dict() == {"x": 1, "name": "dev", "flag": True}
+
+    def test_distinct_params_distinct_fingerprints(self):
+        fps = {
+            SweepPoint.make("k", x=x, s=s).fingerprint()
+            for x in (1, 2, 3)
+            for s in ("a", "b")
+        }
+        assert len(fps) == 6
+
+    def test_kernel_name_distinguishes(self):
+        assert (
+            SweepPoint.make("k1", x=1).fingerprint()
+            != SweepPoint.make("k2", x=1).fingerprint()
+        )
+
+    def test_epoch_bump_invalidates(self):
+        p = SweepPoint.make("k", x=1)
+        assert p.fingerprint() != p.fingerprint(epoch=CACHE_EPOCH + 1)
+
+    def test_rejects_dict_param(self):
+        with pytest.raises(ConfigurationError):
+            SweepPoint.make("k", cfg={"a": 1})
+
+    def test_rejects_object_param(self):
+        with pytest.raises(ConfigurationError):
+            SweepPoint.make("k", obj=object())
+
+    def test_rejects_empty_kernel(self):
+        with pytest.raises(ConfigurationError):
+            SweepPoint.make("")
+
+    def test_fingerprint_is_sha256_hex(self):
+        fp = SweepPoint.make("k", x=1).fingerprint()
+        assert len(fp) == 64
+        int(fp, 16)  # parses as hex
+
+    def test_bool_and_int_params_distinct(self):
+        # json canonicalization must not conflate True with 1
+        assert (
+            SweepPoint.make("k", x=True).fingerprint()
+            != SweepPoint.make("k", x=1).fingerprint()
+        )
+
+
+class TestSweepSpec:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec.make("empty", [])
+
+    def test_len_and_order(self):
+        pts = [SweepPoint.make("k", x=i) for i in range(4)]
+        spec = SweepSpec.make("s", pts)
+        assert len(spec) == 4
+        assert list(spec.points) == pts
+
+
+def test_fingerprint_function_matches_point():
+    p = SweepPoint.make("k", x=1, y=(2, 3))
+    assert p.fingerprint() == fingerprint("k", {"x": 1, "y": (2, 3)})

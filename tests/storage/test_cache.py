@@ -226,3 +226,22 @@ class TestAccounting:
                 target = next(iter(known))
                 cache.mark_dirty(target) if cache.contains(target) else None
             cache.check_invariants()
+
+
+class TestStatsReset:
+    def test_reset_zeroes_counters_only(self):
+        cache, _ = make(capacity=150)
+        cache.insert("a", "a", 0, 100, dirty=False)
+        cache.get("a")
+        cache.insert("b", "b", 100, 100, dirty=False)  # evicts a
+        assert cache.stats.accesses > 0
+        cache.stats.reset()
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+        assert cache.stats.evictions == 0
+        assert cache.stats.dirty_evictions == 0
+        assert cache.stats.accesses == 0
+        # cache contents survive a stats reset
+        assert cache.contains("b")
+        cache.get("b")
+        assert cache.stats.hits == 1

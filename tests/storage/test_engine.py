@@ -98,3 +98,65 @@ class TestClosedLoopRunner:
         runner = ClosedLoopRunner(lambda req, at: at - 1.0)
         with pytest.raises(ConfigurationError):
             runner.run([[1]])
+
+
+class TestSingleServerFastPath:
+    def _compare(self, streams, **kwargs):
+        """Heap and deque paths over one shared Resource must agree exactly."""
+        results = []
+        for single_server in (False, True):
+            r = Resource()
+            runner = ClosedLoopRunner(
+                lambda req, at, r=r: r.acquire(at, req), single_server=single_server
+            )
+            results.append(runner.run([list(s) for s in streams], **kwargs))
+        assert results[0] == results[1]
+        return results[0]
+
+    def test_matches_heap_equal_streams(self):
+        finish = self._compare([[1.0] * 5, [1.0] * 5])
+        assert max(finish) == pytest.approx(10.0)
+
+    def test_matches_heap_ragged_streams(self):
+        self._compare([[0.5, 2.0], [1.0], [0.25, 0.25, 3.0, 0.125]])
+
+    def test_matches_heap_random_durations(self):
+        import random
+
+        rng = random.Random(7)
+        streams = [
+            [rng.uniform(0.01, 2.0) for _ in range(rng.randrange(1, 12))]
+            for _ in range(6)
+        ]
+        self._compare(streams)
+
+    def test_matches_heap_nonzero_start(self):
+        self._compare([[1.0, 1.0], [2.0]], start_time=5.0)
+
+    def test_single_client_auto_fast_path(self):
+        # One client takes the deque path even without single_server=True,
+        # and zero-duration services are fine there (no ordering to break).
+        runner = ClosedLoopRunner(lambda req, at: at + req)
+        assert runner.run([[0.0, 1.0, 0.0]]) == [1.0]
+
+    def test_guard_rejects_nonmonotone_completions(self):
+        # Two independent resources: completions interleave out of order.
+        pool = ResourcePool(2)
+        runner = ClosedLoopRunner(
+            lambda req, at: pool[req[0]].acquire(at, req[1]), single_server=True
+        )
+        with pytest.raises(ConfigurationError):
+            runner.run([[(0, 5.0), (0, 5.0)], [(1, 1.0), (1, 1.0), (1, 1.0)]])
+
+    def test_guard_rejects_zero_duration_ties(self):
+        r = Resource()
+        runner = ClosedLoopRunner(
+            lambda req, at: r.acquire(at, req), single_server=True
+        )
+        with pytest.raises(ConfigurationError):
+            runner.run([[0.0, 0.0], [1.0]])
+
+    def test_backwards_service_rejected_on_fast_path(self):
+        runner = ClosedLoopRunner(lambda req, at: at - 1.0, single_server=True)
+        with pytest.raises(ConfigurationError):
+            runner.run([[1]])

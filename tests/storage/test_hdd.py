@@ -113,3 +113,71 @@ class TestTiming:
         hdd.reset()
         seq2 = [hdd.read(i * (1 << 20), 4096) for i in range(1, 20)]
         assert seq1 == seq2
+
+
+class TestReadBatch:
+    def _serial_reference(self, offsets, nbytes, **kwargs):
+        hdd = make(**kwargs)
+        return hdd, [hdd.read(off, nbytes) for off in offsets]
+
+    def test_bit_identical_to_serial_reads(self):
+        rng = np.random.default_rng(3)
+        offsets = [int(o) * 512 for o in rng.integers(0, (1 << 30) // 512 - 64, size=50)]
+        ref_hdd, ref = self._serial_reference(offsets, 4096, seed=11)
+        hdd = make(seed=11)
+        batch = hdd.read_batch(offsets, 4096)
+        assert batch == ref  # exact float equality, not approx
+        assert hdd.clock == ref_hdd.clock
+        assert hdd.head_position == ref_hdd.head_position
+        assert vars(hdd.stats) == vars(ref_hdd.stats)
+
+    def test_rng_stream_position_matches(self):
+        # After a batch, further serial reads must see the same rotational
+        # draws as if the batch had been issued serially.
+        offsets = [512, 1 << 20, 4096, 2 << 20]
+        ref_hdd, _ = self._serial_reference(offsets, 4096, seed=5)
+        hdd = make(seed=5)
+        hdd.read_batch(offsets, 4096)
+        assert hdd.read(3 << 20, 8192) == ref_hdd.read(3 << 20, 8192)
+
+    def test_sequential_runs_skip_rotation_draws(self):
+        # Offsets forming a sequential run draw no rotation inside the run.
+        start = 1 << 20
+        offsets = [start, start + 4096, start + 8192, 1 << 24]
+        ref_hdd, ref = self._serial_reference(offsets, 4096, seed=9)
+        hdd = make(seed=9)
+        assert hdd.read_batch(offsets, 4096) == ref
+        assert ref[1] == pytest.approx(4096 / hdd.geometry.bandwidth_bytes_per_second)
+
+    def test_empty_batch(self):
+        hdd = make()
+        assert hdd.read_batch([], 4096) == []
+        assert hdd.stats.reads == 0
+
+    def test_invalid_batch_charges_nothing(self):
+        from repro.errors import InvalidIOError
+
+        hdd = make()
+        with pytest.raises(InvalidIOError):
+            hdd.read_batch([0, hdd.capacity_bytes], 4096)
+        assert hdd.stats.reads == 0 and hdd.clock == 0.0
+
+    def test_trace_and_sampler_match_serial(self):
+        offsets = [512, 1 << 20, 4096]
+        ref_hdd = SimulatedHDD(HDDGeometry(capacity_bytes=1 << 30), seed=2, trace=True)
+        ref_hdd.enable_sampling()
+        for off in offsets:
+            ref_hdd.read(off, 4096)
+        hdd = SimulatedHDD(HDDGeometry(capacity_bytes=1 << 30), seed=2, trace=True)
+        hdd.enable_sampling()
+        hdd.read_batch(offsets, 4096)
+        assert hdd.trace == ref_hdd.trace
+        assert hdd.sampler.samples() == ref_hdd.sampler.samples()
+
+
+def test_describe_identifies_timing_behavior():
+    a, b = make(seed=1), make(seed=1)
+    assert a.describe() == b.describe()
+    assert make(seed=2).describe() != a.describe()
+    assert make(seed=1, bandwidth_bytes_per_second=99e6).describe() != a.describe()
+    assert a.describe()["type"] == "SimulatedHDD"

@@ -71,3 +71,22 @@ class TestDirtyAndFlush:
     def test_cache_bytes_property(self):
         stack, _ = make(cache_bytes=777)
         assert stack.cache_bytes == 777
+
+
+class TestDropCacheStats:
+    def test_drop_cache_keeps_stats_by_default(self):
+        stack, _ = make()
+        stack.create("a", "a", 100)
+        stack.get("a")
+        hits = stack.cache.stats.hits
+        assert hits > 0
+        stack.drop_cache()
+        assert stack.cache.stats.hits == hits
+
+    def test_drop_cache_can_reset_stats(self):
+        stack, _ = make()
+        stack.create("a", "a", 100)
+        stack.get("a")
+        stack.drop_cache(reset_stats=True)
+        assert stack.cache.stats.hits == 0
+        assert stack.cache.stats.accesses == 0

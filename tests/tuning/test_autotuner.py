@@ -172,3 +172,46 @@ class TestMigrationEstimate:
         assert large > small * 50
         with pytest.raises(ConfigurationError):
             estimate_migration_seconds(profile, -1, 4096, 65536)
+
+
+class TestCalibrationCache:
+    def _tuner(self, cache):
+        return AutoTuner(device(), cache=cache)
+
+    def test_second_calibration_is_a_cache_hit(self, tmp_path):
+        from repro.runner import ResultCache
+
+        cache = ResultCache(tmp_path)
+        first = self._tuner(cache).calibrate()
+        assert (cache.hits, cache.misses) == (0, 1)
+        second = self._tuner(cache).calibrate()
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert second.affine.seconds_per_byte == first.affine.seconds_per_byte
+        assert second.setup_seconds == first.setup_seconds
+
+    def test_cache_hit_leaves_device_untouched(self, tmp_path):
+        from repro.runner import ResultCache
+
+        cache = ResultCache(tmp_path)
+        self._tuner(cache).calibrate()
+        tuner = self._tuner(cache)
+        tuner.calibrate()
+        assert tuner.device.clock == 0.0
+        assert tuner.device.stats.reads == 0
+
+    def test_different_device_misses(self, tmp_path):
+        from repro.runner import ResultCache
+
+        cache = ResultCache(tmp_path)
+        self._tuner(cache).calibrate()
+        other = AutoTuner(device(s=0.008), cache=cache)
+        other.calibrate()
+        assert cache.misses == 2
+
+    def test_probe_params_enter_fingerprint(self, tmp_path):
+        from repro.runner import ResultCache
+
+        cache = ResultCache(tmp_path)
+        self._tuner(cache).calibrate(reads_per_size=32)
+        self._tuner(cache).calibrate(reads_per_size=16)
+        assert cache.misses == 2
