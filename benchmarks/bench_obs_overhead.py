@@ -1,0 +1,194 @@
+"""repro.obs: metrics overhead on the E6 (Bε-tree node-size) sweep.
+
+Two gates on the observability layer:
+
+1. **Identity** — the sweep produces the exact same results with metrics
+   and tracing enabled as with them disabled.  Instrumentation only reads
+   what the simulator already computed; it must never move a clock tick.
+2. **Cheap when on, free when off** — the metrics-on run costs < 5% extra
+   wall time over the metrics-off run (the off run pays one boolean test
+   per event, the on run a dict increment).
+
+Run standalone to append a wall-clock record to ``BENCH_obs_overhead.json``
+at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py [--smoke]
+
+``--smoke`` shrinks the sweep to a few seconds of runtime.
+"""
+
+import gc
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.experiments import exp_betree_nodesize as e6
+from repro.runner import run_sweep
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_obs_overhead.json"
+
+#: The overhead gate.  Generous vs. the observed ratio (~1%) so CI timer
+#: noise does not flake the job, still tight enough to catch a regression
+#: that puts real work on the disabled path or inside the record calls.
+MAX_OVERHEAD_RATIO = 1.05
+
+FULL = dict(
+    node_sizes=tuple(65536 * 2**k for k in range(6)),  # 64 KiB .. 2 MiB
+    n_entries=150_000,
+    cache_bytes=4 << 20,
+    n_queries=300,
+    max_inserts=50_000,
+    warmup_queries=150,
+    seed=0,
+)
+
+SMOKE = dict(
+    node_sizes=(65536, 262144, 1 << 20),
+    n_entries=60_000,
+    cache_bytes=2 << 20,
+    n_queries=100,
+    max_inserts=10_000,
+    warmup_queries=50,
+    seed=0,
+)
+
+WARMUP = dict(
+    node_sizes=(65536,),
+    n_entries=5000,
+    cache_bytes=1 << 20,
+    n_queries=10,
+    max_inserts=500,
+    warmup_queries=10,
+    seed=0,
+)
+
+
+def _timed_run(spec):
+    # GC pauses would bill the mode that happens to trip a collection
+    # (the on-run's span buffer is exactly such a trigger) for a heap scan
+    # both modes own; collect outside the timed region, like timeit does.
+    gc.collect()
+    gc.disable()
+    try:
+        wall = time.perf_counter()
+        cpu = time.process_time()
+        results = run_sweep(spec, jobs=1)
+        return results, time.perf_counter() - wall, time.process_time() - cpu
+    finally:
+        gc.enable()
+
+
+def _measure(config, *, repeats=6):
+    """Paired off/on runs; the gate reads the median of paired ratios.
+
+    Wall clocks on shared CI hosts drift and spike by several percent over
+    seconds.  Each on-run is therefore ratioed against the off-run
+    immediately before it (adjacent runs see the same host load), and the
+    median over ``repeats`` pairs discards the spikes; a min-of-N over
+    independently noisy halves cannot.  CPU time is measured alongside —
+    it is immune to host contention and bounds the same added work.
+    """
+    spec = e6.sweep_spec(**config)
+    obs.disable(detach_tracer=True)
+    obs.reset()
+    _timed_run(e6.sweep_spec(**WARMUP))  # warm imports/allocator
+    wall_ratios, cpu_ratios = [], []
+    off_s = on_s = float("inf")
+    results_off = results_on = None
+    snap = None
+    try:
+        for _ in range(repeats):
+            obs.disable()
+            results_off, off_wall, off_cpu = _timed_run(spec)
+            off_s = min(off_s, off_wall)
+            obs.enable(trace=True)
+            obs.reset()
+            results_on, on_wall, on_cpu = _timed_run(spec)
+            on_s = min(on_s, on_wall)
+            wall_ratios.append(on_wall / off_wall)
+            cpu_ratios.append(on_cpu / off_cpu)
+        snap = obs.OBS.snapshot()
+        n_spans = len(obs.OBS.tracer.spans)
+    finally:
+        obs.disable(detach_tracer=True)
+        obs.reset()
+    return {
+        "off_s": off_s,
+        "on_s": on_s,
+        "overhead_ratio": statistics.median(wall_ratios),
+        "cpu_overhead_ratio": statistics.median(cpu_ratios),
+        "n_ios_recorded": snap["counters"].get("device.read.ios", 0)
+        + snap["counters"].get("device.write.ios", 0),
+        "n_spans": n_spans,
+        "results_identical": results_on == results_off,
+    }
+
+
+def _measure_gated(config):
+    """Measure; on a gate miss, re-measure once with more pairs.
+
+    The median paired ratio still carries a percent or two of host noise;
+    a single noisy burst must not fail CI, while a real regression (the
+    gate is ~2x the true overhead) fails both measurements.
+    """
+    m = _measure(config)
+    if (
+        m["overhead_ratio"] >= MAX_OVERHEAD_RATIO
+        or m["cpu_overhead_ratio"] >= MAX_OVERHEAD_RATIO
+    ):
+        m = _measure(config, repeats=12)
+        m["retried"] = True
+    return m
+
+
+def _check(m):
+    assert m["results_identical"], "metrics-on results diverged from metrics-off"
+    assert m["n_ios_recorded"] > 0, "metrics-on run recorded no device IOs"
+    assert m["overhead_ratio"] < MAX_OVERHEAD_RATIO, (
+        f"metrics wall overhead {m['overhead_ratio']:.3f}x "
+        f"exceeds the {MAX_OVERHEAD_RATIO}x gate"
+    )
+    assert m["cpu_overhead_ratio"] < MAX_OVERHEAD_RATIO, (
+        f"metrics CPU overhead {m['cpu_overhead_ratio']:.3f}x "
+        f"exceeds the {MAX_OVERHEAD_RATIO}x gate"
+    )
+
+
+def bench_obs_overhead(benchmark, show):
+    m = benchmark.pedantic(lambda: _measure_gated(FULL), rounds=1, iterations=1)
+    show(
+        f"E6 sweep: metrics off {m['off_s']:.2f}s, on {m['on_s']:.2f}s "
+        f"(wall {m['overhead_ratio']:.3f}x, cpu {m['cpu_overhead_ratio']:.3f}x, "
+        f"{m['n_ios_recorded']} IOs, {m['n_spans']} spans)"
+    )
+    for key in ("off_s", "on_s"):
+        benchmark.extra_info[key] = round(m[key], 3)
+    benchmark.extra_info["overhead_ratio"] = round(m["overhead_ratio"], 4)
+    benchmark.extra_info["cpu_overhead_ratio"] = round(m["cpu_overhead_ratio"], 4)
+    benchmark.extra_info["n_ios_recorded"] = m["n_ios_recorded"]
+    _check(m)
+
+
+def main(argv):
+    config = SMOKE if "--smoke" in argv else FULL
+    m = _measure_gated(config)
+    _check(m)
+    record = {"config": "smoke" if config is SMOKE else "full"}
+    record.update(
+        {k: round(v, 4) if isinstance(v, float) else v for k, v in m.items()}
+    )
+    history = []
+    if BENCH_JSON.exists():
+        history = json.loads(BENCH_JSON.read_text())
+    history.append(record)
+    BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"appended to {BENCH_JSON}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1:])

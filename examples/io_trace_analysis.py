@@ -8,6 +8,8 @@ affine model's favourite kind.
 Run:  python examples/io_trace_analysis.py
 """
 
+import math
+
 from repro.analysis.traces import io_size_histogram, summarize_trace
 from repro.experiments.devices import default_hdd
 from repro.storage.stack import StorageStack
@@ -38,7 +40,12 @@ def run_workload(label, build):
           f"({stats.n_reads} reads / {stats.n_writes} writes)")
     print(f"  bytes moved:         {stats.total_bytes / 2**20:.1f} MiB")
     print(f"  mean IO size:        {stats.mean_io_bytes / 1024:.0f} KiB")
-    print(f"  sequential IOs:      {stats.sequential_fraction:.0%}")
+    seq = (
+        "n/a (single IO)"
+        if math.isnan(stats.sequential_fraction)
+        else f"{stats.sequential_fraction:.0%}"
+    )
+    print(f"  sequential IOs:      {seq}")
     print(f"  device time:         {stats.busy_seconds:.2f} s simulated "
           f"({stats.busy_seconds * 1e6 / N_OPS:.0f} us/op)")
     print(f"  effective bandwidth: {stats.effective_bandwidth / 2**20:.1f} MiB/s")

@@ -53,11 +53,22 @@ def rms_error(observed, predicted) -> float:
 
 
 def max_relative_error(observed, predicted) -> float:
-    """Largest ``|obs - pred| / obs`` — the paper's "within 14%" metric."""
+    """Largest ``|obs - pred| / obs`` — the paper's "within 14%" metric.
+
+    Relative error is undefined where the observation is zero, so those
+    points are excluded from the maximum rather than poisoning the whole
+    series.  A zero observation with a *nonzero* prediction is a real
+    mismatch that no finite ratio can express, and raises; so does a
+    series with no nonzero observation at all.
+    """
     y = _as_1d(observed, "observed")
     f = _as_1d(predicted, "predicted")
     if y.shape != f.shape:
         raise FitError(f"shape mismatch: observed {y.shape} vs predicted {f.shape}")
-    if np.any(y == 0):
-        raise FitError("relative error undefined at zero observations")
-    return float(np.max(np.abs(y - f) / np.abs(y)))
+    zero = y == 0
+    if np.any(zero & (f != 0)):
+        raise FitError("infinite relative error: zero observation, nonzero prediction")
+    if np.all(zero):
+        raise FitError("relative error undefined: all observations are zero")
+    yk, fk = y[~zero], f[~zero]
+    return float(np.max(np.abs(yk - fk) / np.abs(yk)))

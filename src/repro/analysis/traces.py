@@ -40,6 +40,8 @@ class TraceSummary:
     max_io_bytes: int
     sequential_fraction: float     # IOs starting exactly where the last ended
     mean_seek_bytes: float         # |gap| between consecutive IOs
+    # Both gap statistics need at least two IOs; a single-IO trace reports
+    # them as NaN (undefined), never as a measured 0.0.
     busy_seconds: float
     mean_io_seconds: float
 
@@ -68,7 +70,9 @@ def summarize_trace(trace: Sequence[IORecord]) -> TraceSummary:
         sequential = float(np.mean(gaps == 0))
         mean_seek = float(np.mean(np.abs(gaps)))
     else:
-        sequential, mean_seek = 0.0, 0.0
+        # One IO has no inter-IO gaps: both statistics are undefined, and
+        # reporting 0.0 would read as "fully random, zero seek distance".
+        sequential, mean_seek = math.nan, math.nan
     return TraceSummary(
         n_ios=len(trace),
         n_reads=n_reads,

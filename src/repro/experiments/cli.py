@@ -100,6 +100,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run under cProfile and print the top-20 cumulative entries",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable repro.obs and print a per-experiment metrics block "
+        "(simulated results are unchanged; see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write structured spans as JSONL to PATH (implies --metrics; "
+        "with multiple experiments, '.<name>' is appended per experiment)",
+    )
     args = parser.parse_args(argv)
     if args.list:
         for name in sorted(EXPERIMENTS):
@@ -108,7 +121,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment is None:
         parser.error("experiment name required (or --list)")
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    metrics_on = args.metrics or args.trace_out is not None
+    if metrics_on:
+        from repro import obs
+        from repro.experiments.report import render_metrics
+
+        obs.enable(trace=args.trace_out is not None)
     for name in names:
+        if metrics_on:
+            obs.reset()  # each experiment gets its own metrics block
         t0 = time.perf_counter()
         if args.profile:
             import cProfile
@@ -127,7 +148,22 @@ def main(argv: list[str] | None = None) -> int:
         if args.plot and hasattr(result, "render_plot"):
             print()
             print(result.render_plot())
+        if metrics_on:
+            print()
+            print(render_metrics(obs.OBS.snapshot(), title=f"{name} metrics"))
+            if args.trace_out is not None:
+                tracer = obs.OBS.tracer
+                assert tracer is not None
+                path = (
+                    args.trace_out
+                    if len(names) == 1
+                    else f"{args.trace_out}.{name}"
+                )
+                tracer.export_jsonl(path)
+                print(f"[trace: {len(tracer)} spans -> {path}]")
         print(f"\n[{name}: {wall:.1f}s wall]\n")
+    if metrics_on:
+        obs.disable(detach_tracer=True)
     return 0
 
 

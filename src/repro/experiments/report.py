@@ -91,3 +91,64 @@ def _cell(v: Any) -> str:
     if isinstance(v, float):
         return f"{v:.4g}"
     return str(v)
+
+
+def render_metrics(snapshot: dict[str, Any], *, title: str = "metrics") -> str:
+    """Render a registry snapshot (see :meth:`repro.obs.MetricsRegistry.snapshot`).
+
+    One block per instrument family — counters, gauges, histograms — plus
+    derived ratios (cache hit rate, runner cache hit rate) when their
+    inputs are present.  The CLI prints this after each experiment run
+    with ``--metrics``.
+    """
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    sections: list[str] = []
+    if counters:
+        sections.append(
+            render_table(
+                f"{title}: counters",
+                ["name", "value"],
+                [[name, value] for name, value in counters.items()],
+            )
+        )
+    if gauges:
+        sections.append(
+            render_table(
+                f"{title}: gauges",
+                ["name", "last", "min", "max", "sets"],
+                [
+                    [name, g["value"], _opt(g["min"]), _opt(g["max"]), g["n_sets"]]
+                    for name, g in gauges.items()
+                ],
+            )
+        )
+    if histograms:
+        sections.append(
+            render_table(
+                f"{title}: histograms (log2 buckets)",
+                ["name", "count", "mean", "min", "max"],
+                [
+                    [name, h["count"], h["mean"], _opt(h["min"]), _opt(h["max"])]
+                    for name, h in histograms.items()
+                ],
+            )
+        )
+    derived: list[str] = []
+    hits, misses = counters.get("cache.hits", 0), counters.get("cache.misses", 0)
+    if hits + misses:
+        derived.append(f"cache hit ratio: {hits / (hits + misses):.3f}")
+    rhits = counters.get("runner.cache_hits", 0)
+    rmisses = counters.get("runner.cache_misses", 0)
+    if rhits + rmisses:
+        derived.append(f"runner cache hit ratio: {rhits / (rhits + rmisses):.3f}")
+    if derived:
+        sections.append("\n".join(derived))
+    if not sections:
+        sections.append(f"{title}: no events recorded")
+    return "\n\n".join(sections)
+
+
+def _opt(v: Any) -> str:
+    return "-" if v is None else _cell(v)

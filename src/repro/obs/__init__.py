@@ -1,0 +1,83 @@
+"""repro.obs — unified observability: metrics registry + span tracing.
+
+One process-wide :class:`~repro.obs.registry.MetricsRegistry` (the module
+constant :data:`OBS`) collects counters, gauges and log-scale histograms
+from every instrumented layer — devices, buffer cache, discrete-event
+engine, read-ahead scheduler, trees, and the sweep runner.  An optional
+:class:`~repro.obs.tracing.Tracer` buffers structured spans for JSONL
+export.
+
+Everything is **off by default**: instrumented hot paths check a single
+boolean (``OBS.enabled``) and fall through, so simulated results are
+byte-identical with observability on or off, and a disabled run pays one
+attribute test per event.  Enable around a measured region::
+
+    from repro import obs
+
+    obs.enable(trace=True)
+    ...workload...
+    print(obs.OBS.snapshot()["counters"]["device.read.ios"])
+    obs.OBS.tracer.export_jsonl("trace.jsonl")
+    obs.disable()
+
+Schema and metric catalogue: docs/observability.md.
+"""
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import (
+    TRACE_SCHEMA,
+    SpanRecord,
+    Tracer,
+    read_jsonl,
+    spans_from_jsonl,
+)
+
+#: The process-wide registry every instrumented layer records into.
+OBS = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry (same object as :data:`OBS`)."""
+    return OBS
+
+
+def enable(*, trace: bool = False, max_spans: int = 1_000_000) -> MetricsRegistry:
+    """Turn on metrics collection (and optionally span tracing).
+
+    Idempotent; with ``trace=True`` a fresh :class:`Tracer` is attached
+    only if none is present, so re-enabling keeps buffered spans.
+    """
+    if trace and OBS.tracer is None:
+        OBS.tracer = Tracer(max_spans=max_spans)
+    OBS.enable()
+    return OBS
+
+
+def disable(*, detach_tracer: bool = False) -> None:
+    """Stop recording; optionally drop the tracer and its spans."""
+    OBS.disable()
+    if detach_tracer:
+        OBS.tracer = None
+
+
+def reset() -> None:
+    """Zero all metrics and clear buffered spans (registry stays enabled/disabled as-is)."""
+    OBS.reset()
+
+
+__all__ = [
+    "OBS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "disable",
+    "enable",
+    "get_registry",
+    "read_jsonl",
+    "reset",
+    "spans_from_jsonl",
+]

@@ -1,0 +1,314 @@
+"""Process-wide metrics registry: counters, gauges, log-scale histograms.
+
+The registry is the metrics half of :mod:`repro.obs` (the tracing half
+lives in :mod:`repro.obs.tracing`).  Design constraints, in order:
+
+1. **Near-zero overhead when disabled.**  Instrumented hot paths guard
+   every record with a single attribute check (``if OBS.enabled:``), so a
+   run with observability off pays one boolean test per event and nothing
+   else.  Nothing in this module is ever consulted by timing math, so
+   enabling it cannot change simulated results — only report them.
+2. **O(1) record when enabled.**  Counters and gauges are single slot
+   writes; histograms bucket by power of two via :func:`math.frexp`, so
+   recording is a dict increment, never a scan of bucket edges.
+3. **Stable export.**  :meth:`MetricsRegistry.snapshot` returns plain
+   sorted dicts of JSON-able values; docs/observability.md freezes the
+   schema so external tooling can consume it.
+
+Metric names are dotted paths (``device.read.ios``, ``cache.hits``); the
+instrumented layer owns its prefix.  See docs/observability.md for the
+full catalogue.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.obs.tracing import Tracer
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (device byte counters pass sizes, not just 1)."""
+        self.value += n
+
+
+class Gauge:
+    """A last-value-wins measurement (queue depth, occupancy, ratio).
+
+    Alongside the last value the gauge keeps min/max/count so a snapshot
+    shows the range a fluctuating quantity covered, not just where it
+    happened to end.
+    """
+
+    __slots__ = ("name", "value", "vmin", "vmax", "n_sets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+        self.n_sets = 0
+
+    def set(self, value: float) -> None:
+        """Record the current value of the measured quantity."""
+        self.value = value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+        self.n_sets += 1
+
+
+class Histogram:
+    """Log-scale (power-of-two bucket) histogram with O(1) record.
+
+    Values land in bucket ``e`` when ``2**(e-1) < v <= 2**e`` (computed
+    with :func:`math.frexp`, not a bucket scan), which suits both latencies
+    spanning microseconds-to-seconds and IO sizes spanning bytes-to-MiB.
+    Zero and negative values land in the reserved ``None`` bucket so a
+    degenerate recording is visible instead of silently mis-binned.
+    """
+
+    __slots__ = ("name", "count", "total", "vmin", "vmax", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+        self.buckets: dict[int | None, int] = {}
+
+    def record(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+        if value > 0.0:
+            mantissa, exponent = math.frexp(value)
+            # frexp: value = mantissa * 2**exponent with mantissa in [0.5, 1),
+            # so v <= 2**exponent with equality only when mantissa == 0.5.
+            key = exponent - 1 if mantissa == 0.5 else exponent
+        else:
+            key = None
+        self.buckets[key] = self.buckets.get(key, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of recorded values (0.0 before any record)."""
+        return self.total / self.count if self.count else 0.0
+
+    def bucket_bounds(self, key: int | None) -> tuple[float, float]:
+        """The ``(lo, hi]`` value range of bucket ``key``."""
+        if key is None:
+            return (-math.inf, 0.0)
+        return (2.0 ** (key - 1), 2.0**key)
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms behind one enable switch.
+
+    Instruments are created on first use and persist (at zero) across
+    :meth:`reset`, so a snapshot taken after a quiet phase still lists
+    every metric the process has ever touched.
+    """
+
+    def __init__(self, *, enabled: bool = False) -> None:
+        self.enabled = bool(enabled)
+        self.tracer: "Tracer | None" = None
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        # Hot-path caches: io_event/op_event fire per IO, so the derived
+        # metric names and instrument lookups are resolved once per kind.
+        # Safe to hold references because reset() zeroes instruments in
+        # place rather than replacing them.
+        self._io_cache: dict[str, tuple] = {}
+        self._op_cache: dict[str, tuple] = {}
+        self._setup_counters: tuple[Counter, Counter] | None = None
+
+    # -- instrument access --------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(self._check_name(name))
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(self._check_name(name))
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(self._check_name(name))
+        return h
+
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not name or name != name.strip():
+            raise ConfigurationError(f"bad metric name {name!r}")
+        return name
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def enable(self, *, tracer: "Tracer | None" = None) -> None:
+        """Turn recording on, optionally attaching a span tracer."""
+        self.enabled = True
+        if tracer is not None:
+            self.tracer = tracer
+
+    def disable(self) -> None:
+        """Turn recording off (instruments keep their accumulated values)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Zero every instrument and drop any buffered spans."""
+        for c in self._counters.values():
+            c.value = 0
+        for g in self._gauges.values():
+            g.value = 0.0
+            g.vmin = math.inf
+            g.vmax = -math.inf
+            g.n_sets = 0
+        for h in self._histograms.values():
+            h.count = 0
+            h.total = 0.0
+            h.vmin = math.inf
+            h.vmax = -math.inf
+            h.buckets = {}
+        if self.tracer is not None:
+            self.tracer.clear()
+
+    # -- composite hot-path events -------------------------------------------
+
+    def io_event(
+        self,
+        device: str,
+        kind: str,
+        offset: int,
+        nbytes: int,
+        start: float,
+        end: float,
+        setup_seconds: float | None = None,
+    ) -> None:
+        """Record one completed device IO (called only when enabled).
+
+        Updates the ``device.*`` counter/histogram family and, when a
+        tracer is attached, emits a simulated-clock span carrying the
+        seek/bandwidth split when the device reported one.
+        """
+        elapsed = end - start
+        inst = self._io_cache.get(kind)
+        if inst is None:
+            inst = self._io_cache[kind] = (
+                self.counter(f"device.{kind}.ios"),
+                self.counter(f"device.{kind}.bytes"),
+                self.histogram(f"device.{kind}.seconds"),
+                self.histogram(f"device.{kind}.io_bytes"),
+                f"device.{kind}",
+            )
+        ios, total_bytes, seconds_h, bytes_h, span_name = inst
+        ios.inc()
+        total_bytes.inc(nbytes)
+        seconds_h.record(elapsed)
+        bytes_h.record(nbytes)
+        if setup_seconds is not None:
+            split = self._setup_counters
+            if split is None:
+                split = self._setup_counters = (
+                    self.counter("device.setup_seconds_x1e9"),
+                    self.counter("device.transfer_seconds_x1e9"),
+                )
+            split[0].inc(int(setup_seconds * 1e9))
+            split[1].inc(int((elapsed - setup_seconds) * 1e9))
+        if self.tracer is not None:
+            attrs: dict[str, Any] = {
+                "device": device,
+                "offset": offset,
+                "nbytes": nbytes,
+            }
+            if setup_seconds is not None:
+                attrs["setup_seconds"] = setup_seconds
+                attrs["transfer_seconds"] = elapsed - setup_seconds
+            self.tracer.record_span(span_name, start, end, "sim", attrs)
+
+    def op_event(self, name: str, start: float, end: float, **attrs: Any) -> None:
+        """Record one structural operation (tree query/flush/split).
+
+        ``start``/``end`` are simulated device-clock readings around the
+        operation, so the histogram holds *charged IO time per op*, not
+        interpreter time.  Called only when enabled.
+        """
+        inst = self._op_cache.get(name)
+        if inst is None:
+            inst = self._op_cache[name] = (
+                self.counter(f"{name}.count"),
+                self.histogram(f"{name}.io_seconds"),
+            )
+        inst[0].inc()
+        inst[1].record(end - start)
+        if self.tracer is not None:
+            self.tracer.record_span(name, start, end, "sim", attrs)
+
+    # -- export ----------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able state of every instrument (schema: docs/observability.md)."""
+        counters = {
+            name: c.value for name, c in sorted(self._counters.items())
+        }
+        gauges = {
+            name: {
+                "value": g.value,
+                "min": None if g.n_sets == 0 else g.vmin,
+                "max": None if g.n_sets == 0 else g.vmax,
+                "n_sets": g.n_sets,
+            }
+            for name, g in sorted(self._gauges.items())
+        }
+        histograms = {
+            name: {
+                "count": h.count,
+                "total": h.total,
+                "mean": h.mean,
+                "min": None if h.count == 0 else h.vmin,
+                "max": None if h.count == 0 else h.vmax,
+                "buckets": {
+                    ("<=0" if k is None else str(k)): v
+                    for k, v in sorted(
+                        h.buckets.items(), key=lambda kv: (kv[0] is None, kv[0] or 0)
+                    )
+                },
+            }
+            for name, h in sorted(self._histograms.items())
+        }
+        return {
+            "schema": "repro.obs.metrics/v1",
+            "enabled": self.enabled,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }

@@ -1,0 +1,205 @@
+"""Span-based structured tracing with JSONL export.
+
+A *span* is a named interval on one of two clocks:
+
+* ``"sim"`` — simulated device seconds, the experiment metric.  Device
+  IOs and tree operations record sim spans: their start/end come from the
+  device clock, so the trace reconstructs exactly what the simulator
+  priced, free of interpreter noise.
+* ``"wall"`` — host wall-clock seconds (:func:`time.perf_counter`).
+  Orchestration layers (the sweep runner) record wall spans: their cost
+  *is* interpreter time.
+
+The JSONL format (one JSON object per line, header first) is part of the
+public schema — see docs/observability.md — so exported traces feed
+external tooling without knowing anything about this package:
+
+    {"type": "header", "schema": "repro.obs.trace/v1", "n_spans": 2, "n_dropped": 0}
+    {"type": "span", "name": "device.read", "clock": "sim", "start": 0.0, "end": 0.01, "attrs": {...}}
+
+The buffer is bounded (default one million spans); once full, further
+spans are counted in ``n_dropped`` rather than silently lost or allowed
+to exhaust memory on a long run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import ConfigurationError
+
+#: Version tag written into every trace header.
+TRACE_SCHEMA = "repro.obs.trace/v1"
+
+_VALID_CLOCKS = ("sim", "wall")
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span."""
+
+    name: str
+    clock: str           # "sim" or "wall"
+    start: float
+    end: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Seconds the span covered, on its own clock."""
+        return self.end - self.start
+
+
+class Tracer:
+    """Bounded in-memory span buffer.
+
+    Parameters
+    ----------
+    max_spans:
+        Buffer capacity; spans past it are dropped (and counted) so an
+        unexpectedly IO-heavy run degrades to a truncated trace instead
+        of unbounded memory growth.
+    """
+
+    def __init__(self, max_spans: int = 1_000_000) -> None:
+        if max_spans <= 0:
+            raise ConfigurationError(f"max_spans must be positive, got {max_spans}")
+        self.max_spans = int(max_spans)
+        # Raw (name, clock, start, end, attrs) tuples: recording is a hot
+        # path (one span per device IO), and a plain tuple append is several
+        # times cheaper than constructing a frozen dataclass.  SpanRecord
+        # objects are materialized lazily via the ``spans`` property.
+        self._spans: list[tuple[str, str, float, float, dict[str, Any]]] = []
+        self.n_dropped = 0
+
+    def record(
+        self, name: str, start: float, end: float, *, clock: str = "sim", **attrs: Any
+    ) -> None:
+        """Append one completed span (no-op past capacity, but counted)."""
+        if clock not in _VALID_CLOCKS:
+            raise ConfigurationError(f"unknown span clock {clock!r}")
+        self.record_span(name, start, end, clock, attrs)
+
+    def record_span(
+        self, name: str, start: float, end: float, clock: str, attrs: dict[str, Any]
+    ) -> None:
+        """Hot-path variant of :meth:`record`: takes attrs as a dict the
+        caller already built (no repacking) and trusts the clock value."""
+        if len(self._spans) >= self.max_spans:
+            self.n_dropped += 1
+            return
+        self._spans.append((name, clock, start, end, attrs))
+
+    @property
+    def spans(self) -> list[SpanRecord]:
+        """Buffered spans as :class:`SpanRecord` objects (built on demand)."""
+        return [SpanRecord(*t) for t in self._spans]
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[None]:
+        """Wall-clock span around a code block."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, start, time.perf_counter(), clock="wall", **attrs)
+
+    def clear(self) -> None:
+        """Drop all buffered spans and the drop counter."""
+        self._spans = []
+        self.n_dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    # -- JSONL export ---------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """Serialize buffered spans to JSONL text (header line first)."""
+        lines = [
+            json.dumps(
+                {
+                    "type": "header",
+                    "schema": TRACE_SCHEMA,
+                    "n_spans": len(self._spans),
+                    "n_dropped": self.n_dropped,
+                },
+                sort_keys=True,
+            )
+        ]
+        for name, clock, start, end, attrs in self._spans:
+            lines.append(
+                json.dumps(
+                    {
+                        "type": "span",
+                        "name": name,
+                        "clock": clock,
+                        "start": start,
+                        "end": end,
+                        "attrs": attrs,
+                    },
+                    sort_keys=True,
+                )
+            )
+        return "\n".join(lines) + "\n"
+
+    def export_jsonl(self, path: str | Path) -> Path:
+        """Write :meth:`to_jsonl` to ``path``; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl())
+        return path
+
+
+def spans_from_jsonl(text: str) -> list[SpanRecord]:
+    """Parse and validate JSONL trace text back into span records.
+
+    Raises :class:`~repro.errors.ConfigurationError` on a missing/alien
+    header, unknown record types, bad clocks, or inconsistent times — the
+    same strictness the CSV trace loader applies, so a trace that loads is
+    a trace that is safe to analyze.
+    """
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        raise ConfigurationError("empty trace: no header line")
+    header = json.loads(lines[0])
+    if header.get("type") != "header" or header.get("schema") != TRACE_SCHEMA:
+        raise ConfigurationError(f"bad trace header: {lines[0]!r}")
+    out: list[SpanRecord] = []
+    for ln in lines[1:]:
+        rec = json.loads(ln)
+        if rec.get("type") != "span":
+            raise ConfigurationError(f"unknown trace record type: {ln!r}")
+        name, clock = rec.get("name"), rec.get("clock")
+        start, end = rec.get("start"), rec.get("end")
+        if not isinstance(name, str) or not name:
+            raise ConfigurationError(f"span without a name: {ln!r}")
+        if clock not in _VALID_CLOCKS:
+            raise ConfigurationError(f"bad span clock in: {ln!r}")
+        if (
+            not isinstance(start, (int, float))
+            or not isinstance(end, (int, float))
+            or not math.isfinite(start)
+            or end < start
+        ):
+            raise ConfigurationError(f"inconsistent span times in: {ln!r}")
+        attrs = rec.get("attrs", {})
+        if not isinstance(attrs, dict):
+            raise ConfigurationError(f"span attrs must be an object: {ln!r}")
+        out.append(SpanRecord(name, clock, float(start), float(end), attrs))
+    if int(header.get("n_spans", len(out))) != len(out):
+        raise ConfigurationError(
+            f"header claims {header.get('n_spans')} spans, file has {len(out)}"
+        )
+    return out
+
+
+def read_jsonl(path: str | Path) -> list[SpanRecord]:
+    """Load a trace file written by :meth:`Tracer.export_jsonl`."""
+    return spans_from_jsonl(Path(path).read_text())

@@ -16,10 +16,12 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import ConfigurationError
+from repro.obs import OBS
 from repro.runner.cache import ResultCache
 from repro.runner.kernels import get_kernel
 from repro.runner.spec import SweepSpec
@@ -58,6 +60,18 @@ def _compute(payload: tuple[str, dict[str, Any]]) -> Any:
     return get_kernel(kernel_name)(**params)
 
 
+def _compute_timed(payload: tuple[str, dict[str, Any]]) -> tuple[Any, float]:
+    """Like :func:`_compute`, returning ``(result, wall_seconds)``.
+
+    Used when observability is on: workers time themselves, so per-point
+    wall clocks survive the pool boundary (a forked worker's own metrics
+    registry dies with it).  The kernel call is identical, so results stay
+    bit-for-bit the same as the untimed path.
+    """
+    start = time.perf_counter()
+    return _compute(payload), time.perf_counter() - start
+
+
 def run_sweep(
     spec: SweepSpec,
     *,
@@ -87,16 +101,50 @@ def run_sweep(
                 continue
         pending.append(i)
 
+    observe = OBS.enabled
+    if observe:
+        OBS.counter("runner.points").inc(len(spec.points))
+        OBS.counter("runner.cache_hits").inc(len(spec.points) - len(pending))
+        OBS.counter("runner.cache_misses").inc(len(pending))
+
     payloads = [
         (spec.points[i].kernel, spec.points[i].param_dict()) for i in pending
     ]
     if payloads:
+        worker = _compute_timed if observe else _compute
+        sweep_start = time.perf_counter()
         if jobs > 1 and len(payloads) > 1:
             ctx = multiprocessing.get_context("fork")
             with ctx.Pool(processes=min(jobs, len(payloads))) as pool:
-                computed = pool.map(_compute, payloads)
+                computed = pool.map(worker, payloads)
         else:
-            computed = [_compute(p) for p in payloads]
+            computed = [worker(p) for p in payloads]
+        if observe:
+            sweep_end = time.perf_counter()
+            for (i, (value, seconds)) in zip(pending, computed):
+                OBS.histogram("runner.point_seconds").record(seconds)
+                if OBS.tracer is not None:
+                    OBS.tracer.record(
+                        "runner.point",
+                        0.0,
+                        seconds,
+                        clock="wall",
+                        sweep=spec.name,
+                        kernel=spec.points[i].kernel,
+                        fingerprint=fingerprints[i],
+                    )
+            if OBS.tracer is not None:
+                OBS.tracer.record(
+                    "runner.sweep",
+                    sweep_start,
+                    sweep_end,
+                    clock="wall",
+                    sweep=spec.name,
+                    jobs=jobs,
+                    n_points=len(spec.points),
+                    n_computed=len(pending),
+                )
+            computed = [value for value, _ in computed]
         for i, value in zip(pending, computed):
             results[i] = value
             if cache is not None:

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Any, Hashable, Iterator
 
 from repro.errors import CacheError, ConfigurationError
+from repro.obs import OBS
 from repro.storage.device import BlockDevice
 
 
@@ -171,8 +172,12 @@ class BufferCache:
         if entry.dirty:
             self.io_seconds += self.device.write(entry.offset, entry.nbytes)
             self.stats.dirty_evictions += 1
+            if OBS.enabled:
+                OBS.counter("cache.dirty_evictions").inc()
             entry.dirty = False
         self.stats.evictions += 1
+        if OBS.enabled:
+            OBS.counter("cache.evictions").inc()
         self.cached_bytes -= entry.nbytes
 
     # -- public API ------------------------------------------------------------
@@ -187,9 +192,13 @@ class BufferCache:
         entry = self._index.get(node_id)
         if entry is not None and entry.resident:
             self.stats.hits += 1
+            if OBS.enabled:
+                OBS.counter("cache.hits").inc()
             self._touch(entry)
             return entry.obj
         self.stats.misses += 1
+        if OBS.enabled:
+            OBS.counter("cache.misses").inc()
         if entry is None:
             raise CacheError(f"unknown node id {node_id!r}")
         self.io_seconds += self.device.read(entry.offset, entry.nbytes)

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.errors import InvalidIOError
+from repro.obs import OBS
 
 
 @dataclass(frozen=True)
@@ -155,6 +156,10 @@ class BlockDevice(ABC):
         # Passive sampling is off by default: the only cost when disabled is
         # one None check per IO.
         self.sampler: IOSampler | None = None
+        # Setup-seconds of the IO in flight, published by subclasses that
+        # know their seek/bandwidth split (HDD, AffineDevice) and only when
+        # observability is enabled; consumed by _obs_io below.
+        self._obs_setup: float | None = None
 
     # -- subclass API ------------------------------------------------------
 
@@ -192,6 +197,8 @@ class BlockDevice(ABC):
             self.trace.append(IORecord("read", offset, nbytes, start, end))
         if self.sampler is not None:
             self.sampler.record(nbytes, elapsed, "read")
+        if OBS.enabled:
+            self._obs_io("read", offset, nbytes, start, end)
         return elapsed
 
     def write(self, offset: int, nbytes: int) -> float:
@@ -208,7 +215,16 @@ class BlockDevice(ABC):
             self.trace.append(IORecord("write", offset, nbytes, start, end))
         if self.sampler is not None:
             self.sampler.record(nbytes, elapsed, "write")
+        if OBS.enabled:
+            self._obs_io("write", offset, nbytes, start, end)
         return elapsed
+
+    def _obs_io(self, kind: str, offset: int, nbytes: int, start: float, end: float) -> None:
+        """Publish one completed IO to the observability layer."""
+        OBS.io_event(
+            type(self).__name__, kind, offset, nbytes, start, end, self._obs_setup
+        )
+        self._obs_setup = None
 
     def read_batch(self, offsets: "Sequence[int]", nbytes: int) -> list[float]:
         """Serially read ``nbytes`` at each offset; per-IO elapsed seconds.

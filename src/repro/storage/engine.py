@@ -23,6 +23,7 @@ from collections import deque
 from typing import Callable, Iterator, Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs import OBS
 
 
 class Resource:
@@ -119,6 +120,8 @@ class ClosedLoopRunner:
         """
         if not client_streams:
             raise ConfigurationError("need at least one client stream")
+        if OBS.enabled:
+            OBS.gauge("engine.clients").set(len(client_streams))
         if self._single_server or len(client_streams) == 1:
             return self._run_single_server(client_streams, start_time)
         return self._run_heap(client_streams, start_time)
@@ -144,6 +147,12 @@ class ClosedLoopRunner:
                     f"service completed before issue ({done} < {issue_time}); "
                     "service functions must be forward-in-time"
                 )
+            if OBS.enabled:
+                OBS.counter("engine.requests").inc()
+                # Clients still in flight: everyone left in the heap plus
+                # this one, which is about to re-enter it.
+                OBS.gauge("engine.queue_depth").set(len(heap) + 1)
+                OBS.histogram("engine.service_seconds").record(done - issue_time)
             heapq.heappush(heap, (done, idx))
         return finish
 
@@ -194,6 +203,10 @@ class ClosedLoopRunner:
                         "positive service times"
                     )
                 last_done = done
+            if OBS.enabled:
+                OBS.counter("engine.requests").inc()
+                OBS.gauge("engine.queue_depth").set(len(queue) + 1)
+                OBS.histogram("engine.service_seconds").record(done - issue_time)
             queue.append((done, idx))
         return finish
 

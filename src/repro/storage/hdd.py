@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs import OBS
 from repro.storage.device import BlockDevice, IORecord
 
 
@@ -135,6 +136,8 @@ class SimulatedHDD(BlockDevice):
         setup = self._seek_seconds(offset)
         transfer = nbytes * self.geometry.seconds_per_byte
         self.head_position = offset + nbytes
+        if OBS.enabled:
+            self._obs_setup = setup  # seek/bandwidth split for the obs layer
         return at + setup + transfer
 
     def _service_read(self, offset: int, nbytes: int, at: float) -> float:
@@ -197,6 +200,11 @@ class SimulatedHDD(BlockDevice):
                 self.trace.append(IORecord("read", off, nbytes, start, end))
             if self.sampler is not None:
                 self.sampler.record(nbytes, elapsed, "read")
+            if OBS.enabled:
+                OBS.io_event(
+                    type(self).__name__, "read", off, nbytes, start, end,
+                    float(setup[i]),
+                )
             out.append(elapsed)
         self.head_position = offs[-1] + nbytes
         return out

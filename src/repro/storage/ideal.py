@@ -16,6 +16,7 @@ from typing import Sequence
 
 from repro.errors import ConfigurationError, InvalidIOError
 from repro.models.affine import AffineModel
+from repro.obs import OBS
 from repro.models.pdam import PDAMModel
 from repro.storage.device import BlockDevice, IORecord
 
@@ -62,6 +63,8 @@ class AffineDevice(BlockDevice):
         )
         setup = 0.0 if sequential else self.model.setup_seconds
         self._next_sequential_offset = offset + nbytes
+        if OBS.enabled:
+            self._obs_setup = scale * setup  # setup/bandwidth split for obs
         return at + scale * (setup + self.model.seconds_per_byte * nbytes)
 
     def _service_read(self, offset: int, nbytes: int, at: float) -> float:
@@ -103,6 +106,11 @@ class AffineDevice(BlockDevice):
                 self.trace.append(IORecord("read", off, nbytes, start, end))
             if self.sampler is not None:
                 self.sampler.record(nbytes, elapsed, "read")
+            if OBS.enabled:
+                OBS.io_event(
+                    type(self).__name__, "read", off, nbytes, start, end,
+                    0.0 if sequential else self.model.setup_seconds,
+                )
             out.append(elapsed)
             expected = off + nbytes
         self._next_sequential_offset = expected
@@ -213,6 +221,11 @@ class PDAMDevice(BlockDevice):
         self.slots_wasted += self.parallelism - total
         self.clock += self.model.step_seconds
         self.stats.read_seconds += self.model.step_seconds
+        if OBS.enabled:
+            OBS.counter("device.pdam.steps").inc()
+            OBS.counter("device.pdam.slots_used").inc(total)
+            OBS.counter("device.pdam.slots_wasted").inc(self.parallelism - total)
+            OBS.histogram("device.pdam.step_occupancy").record(total)
         return self.clock
 
     def block_of(self, offset: int) -> int:

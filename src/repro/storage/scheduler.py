@@ -24,6 +24,7 @@ from collections import deque
 from typing import Hashable
 
 from repro.errors import ConfigurationError
+from repro.obs import OBS
 from repro.storage.ideal import PDAMDevice
 
 
@@ -77,8 +78,14 @@ class ReadAheadScheduler:
         if self.expand_readahead and spare > 0:
             # Round-robin one extra consecutive block at a time so every
             # client's read-ahead run grows evenly (the paper's "two runs of
-            # P/2 blocks each" behaviour for two clients).
+            # P/2 blocks each" behaviour for two clients).  Expansion never
+            # re-fetches a block another client already demanded this step,
+            # nor one still queued as a demand — a duplicate would silently
+            # burn a parallel slot on data the step already delivers (and a
+            # queued demand will be served, at full usefulness, next step).
             max_block = self.device.capacity_bytes // self.device.block_bytes - 1
+            taken = {blk for blocks in fetched.values() for blk in blocks}
+            taken.update(blk for _, blk in self._waiting)
             next_block = {client: blocks[-1] + 1 for client, blocks in fetched.items()}
             order = list(fetched.keys())
             i = 0
@@ -87,11 +94,15 @@ class ReadAheadScheduler:
                 client = order[i % len(order)]
                 i += 1
                 blk = next_block[client]
+                while blk <= max_block and blk in taken:
+                    blk += 1  # jump the run past blocks this step already covers
                 if blk > max_block:
+                    next_block[client] = blk
                     stalled += 1
                     continue
                 stalled = 0
                 fetched[client].append(blk)
+                taken.add(blk)
                 next_block[client] = blk + 1
                 spare -= 1
 
@@ -100,6 +111,12 @@ class ReadAheadScheduler:
             for blocks in fetched.values()
             for blk in blocks
         ]
+        if OBS.enabled:
+            OBS.counter("scheduler.steps").inc()
+            OBS.counter("scheduler.demand_blocks").inc(len(served))
+            OBS.counter("scheduler.readahead_blocks").inc(len(offsets) - len(served))
+            OBS.gauge("scheduler.queue_depth").set(len(self._waiting))
+            OBS.histogram("scheduler.step_occupancy").record(len(offsets))
         self.device.serve_step(offsets)
         self.steps += 1
         return fetched

@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.obs import OBS
 from repro.storage.device import BlockDevice, ReadRequest, WriteRequest
 from repro.storage.engine import ClosedLoopRunner, ResourcePool
 
@@ -193,12 +194,18 @@ class SimulatedSSD(BlockDevice):
             self.stats.reads += 1
             self.stats.bytes_read += request.nbytes
             self.stats.read_seconds += end - at
+            kind = "read"
         elif isinstance(request, WriteRequest):
             end = self._write_completion(request.offset, request.nbytes, at)
             self.stats.writes += 1
             self.stats.bytes_written += request.nbytes
             self.stats.write_seconds += end - at
+            kind = "write"
         self.clock = max(self.clock, end)
+        if OBS.enabled:
+            OBS.io_event(
+                type(self).__name__, kind, request.offset, request.nbytes, at, end
+            )
         return end
 
     def run_closed_loop(self, client_streams) -> float:

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Any, Iterator
 
 from repro.errors import ConfigurationError, TreeError
+from repro.obs import OBS
 from repro.storage.stack import StorageStack
 from repro.trees.betree.messages import Message, MessageOp, apply_messages
 from repro.trees.betree.node import BeNode, SegmentBuffer
@@ -221,6 +222,14 @@ class BeTree:
 
     def _flush_child(self, parent: BeNode, idx: int) -> None:
         """Move child ``idx``'s pending messages down one level."""
+        if OBS.enabled:
+            start = self.storage.device.clock
+            self._flush_child_impl(parent, idx)
+            OBS.op_event("betree.flush", start, self.storage.device.clock)
+            return
+        self._flush_child_impl(parent, idx)
+
+    def _flush_child_impl(self, parent: BeNode, idx: int) -> None:
         msgs = parent.take_segment(idx)
         self._dirty_segment(parent, idx)
         if not msgs:
@@ -272,6 +281,14 @@ class BeTree:
 
     def _split_leaf(self, parent: BeNode | None, idx: int, leaf: BeNode) -> None:
         """Split an overfull leaf into ~2/3-full pieces."""
+        if OBS.enabled:
+            start = self.storage.device.clock
+            self._split_leaf_impl(parent, idx, leaf)
+            OBS.op_event("betree.split", start, self.storage.device.clock, kind="leaf")
+            return
+        self._split_leaf_impl(parent, idx, leaf)
+
+    def _split_leaf_impl(self, parent: BeNode | None, idx: int, leaf: BeNode) -> None:
         cap = self.config.leaf_capacity
         pieces = math.ceil(len(leaf.keys) / math.ceil(cap * 2 / 3))
         per = math.ceil(len(leaf.keys) / pieces)
@@ -315,6 +332,16 @@ class BeTree:
 
     def _split_internal(self, parent: BeNode | None, idx: int) -> None:
         """Split internal node ``parent.children[idx]`` in half."""
+        if OBS.enabled:
+            start = self.storage.device.clock
+            self._split_internal_impl(parent, idx)
+            OBS.op_event(
+                "betree.split", start, self.storage.device.clock, kind="internal"
+            )
+            return
+        self._split_internal_impl(parent, idx)
+
+    def _split_internal_impl(self, parent: BeNode | None, idx: int) -> None:
         node = (
             self._get(parent.children[idx]) if parent is not None else self._get(self.root_id)
         )
@@ -351,6 +378,14 @@ class BeTree:
 
     def get(self, key: int) -> Any | None:
         """Point query; returns the value or ``None``."""
+        if OBS.enabled:
+            start = self.storage.device.clock
+            value = self._lookup(key)
+            OBS.op_event("betree.query", start, self.storage.device.clock, key=key)
+            return value
+        return self._lookup(key)
+
+    def _lookup(self, key: int) -> Any | None:
         msgs: list[Message] = []
         node = self._read_root_for_query()
         parent: BeNode | None = None

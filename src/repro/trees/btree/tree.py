@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Iterator
 
 from repro.errors import ConfigurationError, TreeError
+from repro.obs import OBS
 from repro.storage.stack import StorageStack
 from repro.trees.btree.node import BTreeNode
 from repro.trees.sizing import EntryFormat
@@ -118,6 +119,14 @@ class BTree:
 
     def get(self, key: int) -> Any | None:
         """Point query; returns the value or ``None``."""
+        if OBS.enabled:
+            start = self.storage.device.clock
+            value = self._lookup(key)
+            OBS.op_event("btree.query", start, self.storage.device.clock, key=key)
+            return value
+        return self._lookup(key)
+
+    def _lookup(self, key: int) -> Any | None:
         node = self._get(self.root_id)
         while not node.is_leaf:
             idx = bisect.bisect_right(node.keys, key)
@@ -174,6 +183,14 @@ class BTree:
 
     def _split_child(self, parent: BTreeNode, idx: int) -> None:
         """Split ``parent.children[idx]`` into two; parent gains one pivot."""
+        if OBS.enabled:
+            start = self.storage.device.clock
+            self._split_child_impl(parent, idx)
+            OBS.op_event("btree.split", start, self.storage.device.clock)
+            return
+        self._split_child_impl(parent, idx)
+
+    def _split_child_impl(self, parent: BTreeNode, idx: int) -> None:
         child = self._get(parent.children[idx])
         right = self._new_node(is_leaf=child.is_leaf)
         if child.is_leaf:

@@ -69,5 +69,18 @@ class TestMaxRelativeError:
         assert max_relative_error([100.0, 200.0], [114.0, 200.0]) == pytest.approx(0.14)
 
     def test_zero_observation_rejected(self):
+        # A zero observation with a nonzero prediction has no finite
+        # relative error: still a hard failure.
         with pytest.raises(FitError):
             max_relative_error([0.0], [1.0])
+
+    def test_matched_zero_is_skipped(self):
+        # Regression: a single (0, 0) point used to poison the whole
+        # series; it carries no relative-error information and is skipped.
+        assert max_relative_error(
+            [0.0, 100.0, 200.0], [0.0, 114.0, 200.0]
+        ) == pytest.approx(0.14)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(FitError):
+            max_relative_error([0.0, 0.0], [0.0, 0.0])

@@ -1,5 +1,7 @@
 """IO-trace analysis tests."""
 
+import math
+
 import pytest
 
 from repro.errors import ConfigurationError
@@ -37,6 +39,14 @@ class TestSummarize:
     def test_effective_bandwidth(self):
         trace = [rec("read", 0, 1000, dur=2.0)]
         assert summarize_trace(trace).effective_bandwidth == pytest.approx(500.0)
+
+    def test_single_io_gap_stats_undefined(self):
+        # Regression: a single IO has no inter-IO gaps, so the gap stats
+        # used to report a measured-looking 0.0 ("fully random, zero seek").
+        # They are undefined and must say so.
+        s = summarize_trace([rec("read", 0, 1000)])
+        assert math.isnan(s.sequential_fraction)
+        assert math.isnan(s.mean_seek_bytes)
 
     def test_empty_rejected(self):
         with pytest.raises(ConfigurationError):

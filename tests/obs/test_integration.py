@@ -1,0 +1,159 @@
+"""End-to-end observability: instrumented layers, identity, CLI exposure.
+
+The load-bearing guarantee is *identity*: enabling metrics/tracing must
+not move a single simulated clock tick, because instrumentation only
+reads what the simulator already computed.
+"""
+
+import pytest
+
+from repro import obs
+from repro.experiments.devices import default_hdd
+from repro.storage.stack import StorageStack
+from repro.trees.btree import BTree, BTreeConfig
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Every test starts and ends with the registry off and empty."""
+    obs.disable(detach_tracer=True)
+    obs.reset()
+    yield
+    obs.disable(detach_tracer=True)
+    obs.reset()
+
+
+def run_btree_workload(n_ops: int = 400) -> float:
+    """A small mixed workload; returns the simulated device clock."""
+    device = default_hdd(seed=3)
+    stack = StorageStack(device, cache_bytes=64 << 10)
+    tree = BTree(stack, BTreeConfig(node_bytes=4096))
+    for k in range(n_ops):
+        tree.insert(k * 7 % 1000, k)
+    for k in range(0, n_ops, 3):
+        tree.get(k * 7 % 1000)
+    stack.flush()
+    return device.clock
+
+
+class TestIdentity:
+    def test_disabled_run_records_nothing(self):
+        run_btree_workload()
+        snap = obs.OBS.snapshot()
+        assert all(v == 0 for v in snap["counters"].values())
+        assert all(h["count"] == 0 for h in snap["histograms"].values())
+
+    def test_simulated_clock_identical_on_off(self):
+        clock_off = run_btree_workload()
+        obs.enable(trace=True)
+        clock_on = run_btree_workload()
+        assert clock_on == clock_off  # byte-identical, not approx
+
+    def test_enable_disable_round_trip_is_noop_for_results(self):
+        obs.enable()
+        obs.disable()
+        a = run_btree_workload()
+        b = run_btree_workload()
+        assert a == b
+
+
+class TestInstrumentedLayers:
+    def test_device_and_cache_and_tree_metrics(self):
+        obs.enable(trace=True)
+        run_btree_workload()
+        snap = obs.OBS.snapshot()
+        c = snap["counters"]
+        assert c["device.read.ios"] > 0
+        assert c["device.write.ios"] > 0
+        # HDDs report their seek/bandwidth split per IO.
+        assert c["device.setup_seconds_x1e9"] > 0
+        assert c["device.transfer_seconds_x1e9"] > 0
+        assert c["cache.hits"] > 0 and c["cache.misses"] > 0
+        assert c["btree.query.count"] > 0
+        assert snap["histograms"]["device.read.io_bytes"]["count"] == c["device.read.ios"]
+
+    def test_cache_counters_match_cachestats(self):
+        obs.enable()
+        device = default_hdd(seed=3)
+        stack = StorageStack(device, cache_bytes=64 << 10)
+        tree = BTree(stack, BTreeConfig(node_bytes=4096))
+        for k in range(300):
+            tree.insert(k, k)
+        stack.flush()
+        c = obs.OBS.snapshot()["counters"]
+        assert c["cache.hits"] == stack.cache.stats.hits
+        assert c["cache.misses"] == stack.cache.stats.misses
+        assert c["cache.evictions"] == stack.cache.stats.evictions
+
+    def test_tree_spans_have_sim_clock(self):
+        obs.enable(trace=True)
+        run_btree_workload()
+        spans = obs.OBS.tracer.spans
+        tree_spans = [s for s in spans if s.name.startswith("btree.")]
+        assert tree_spans
+        assert all(s.clock == "sim" for s in tree_spans)
+        io_spans = [s for s in spans if s.name.startswith("device.")]
+        assert io_spans
+        assert all(s.end >= s.start for s in io_spans)
+
+    def test_runner_metrics(self, tmp_path):
+        from repro.runner import ResultCache, run_sweep
+        from repro.runner.spec import SweepPoint, SweepSpec
+
+        obs.enable()
+        spec = SweepSpec.make(
+            "obs-test",
+            [
+                SweepPoint.make(
+                    "btree_nodesize_point",
+                    node_bytes=nb,
+                    n_entries=2000,
+                    cache_bytes=64 << 10,
+                    universe=1 << 20,
+                    n_queries=50,
+                    n_inserts=50,
+                    warmup_queries=10,
+                    seed=1,
+                )
+                for nb in (1 << 14, 1 << 15)
+            ],
+        )
+        cache = ResultCache(tmp_path)
+        run_sweep(spec, cache=cache)
+        c = obs.OBS.snapshot()["counters"]
+        assert c["runner.points"] == 2
+        assert c["runner.cache_misses"] == 2
+        run_sweep(spec, cache=cache)
+        c = obs.OBS.snapshot()["counters"]
+        assert c["runner.cache_hits"] == 2
+        assert obs.OBS.snapshot()["histograms"]["runner.point_seconds"]["count"] == 2
+
+
+class TestCLI:
+    def test_metrics_flag_renders_block_and_trace(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+        from repro.obs import read_jsonl
+
+        trace_path = tmp_path / "e3.jsonl"
+        rc = main(
+            ["table2", "--metrics", "--trace-out", str(trace_path), "--no-cache"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "table2 metrics: counters" in out
+        assert "device.read.ios" in out
+        assert "runner.point_seconds" in out
+        spans = read_jsonl(trace_path)  # validates header + every span
+        names = {s.name for s in spans}
+        assert "device.read" in names
+        assert "runner.sweep" in names
+
+    def test_metrics_off_prints_no_block(self, capsys):
+        from repro.experiments.cli import main
+
+        rc = main(["table2", "--no-cache"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "metrics: counters" not in out
+        # And the global registry stayed silent.
+        assert all(v == 0 for v in obs.OBS.snapshot()["counters"].values())

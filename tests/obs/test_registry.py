@@ -1,0 +1,138 @@
+"""Metrics-registry semantics: counters, gauges, log-scale histograms."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+
+class TestGauge:
+    def test_tracks_last_min_max(self):
+        g = Gauge("x")
+        for v in (3.0, 1.0, 7.0):
+            g.set(v)
+        assert g.value == 7.0
+        assert g.vmin == 1.0
+        assert g.vmax == 7.0
+        assert g.n_sets == 3
+
+
+class TestHistogram:
+    def test_power_of_two_bucketing(self):
+        h = Histogram("x")
+        # Bucket e covers (2**(e-1), 2**e]: exact powers of two land in
+        # their own bucket, values just above spill into the next.
+        h.record(4.0)     # (2, 4]   -> bucket 2
+        h.record(4.0001)  # (4, 8]   -> bucket 3
+        h.record(3.0)     # (2, 4]   -> bucket 2
+        assert h.buckets == {2: 2, 3: 1}
+
+    def test_bucket_bounds_contain_recorded_values(self):
+        h = Histogram("x")
+        values = [1e-9, 0.004, 0.5, 1.0, 3.7, 4096.0, 1.5e6]
+        for v in values:
+            h.record(v)
+        for key, count in h.buckets.items():
+            lo, hi = h.bucket_bounds(key)
+            covered = [v for v in values if lo < v <= hi]
+            assert len(covered) == count
+
+    def test_nonpositive_goes_to_reserved_bucket(self):
+        h = Histogram("x")
+        h.record(0.0)
+        h.record(-1.0)
+        assert h.buckets == {None: 2}
+
+    def test_mean_min_max(self):
+        h = Histogram("x")
+        for v in (1.0, 2.0, 9.0):
+            h.record(v)
+        assert h.mean == pytest.approx(4.0)
+        assert h.vmin == 1.0
+        assert h.vmax == 9.0
+        assert h.count == 3
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_bad_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.counter("")
+        with pytest.raises(ConfigurationError):
+            reg.gauge(" padded ")
+
+    def test_reset_zeroes_but_keeps_instruments(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("a").inc(3)
+        reg.gauge("b").set(2.0)
+        reg.histogram("c").record(1.5)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a": 0}
+        assert snap["gauges"]["b"]["n_sets"] == 0
+        assert snap["gauges"]["b"]["min"] is None
+        assert snap["histograms"]["c"]["count"] == 0
+        assert snap["histograms"]["c"]["buckets"] == {}
+
+    def test_enable_disable(self):
+        reg = MetricsRegistry()
+        assert not reg.enabled
+        reg.enable()
+        assert reg.enabled
+        reg.disable()
+        assert not reg.enabled
+
+    def test_io_event_updates_family(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.io_event("Dev", "read", 0, 4096, 1.0, 1.25, 0.05)
+        snap = reg.snapshot()
+        assert snap["counters"]["device.read.ios"] == 1
+        assert snap["counters"]["device.read.bytes"] == 4096
+        assert snap["counters"]["device.setup_seconds_x1e9"] == int(0.05 * 1e9)
+        assert snap["histograms"]["device.read.seconds"]["count"] == 1
+        assert snap["histograms"]["device.read.io_bytes"]["max"] == 4096
+
+    def test_op_event_updates_family(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.op_event("btree.query", 0.0, 0.5, key=7)
+        snap = reg.snapshot()
+        assert snap["counters"]["btree.query.count"] == 1
+        assert snap["histograms"]["btree.query.io_seconds"]["mean"] == 0.5
+
+    def test_snapshot_is_json_able_and_sorted(self):
+        import json
+
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("z").inc()
+        reg.counter("a").inc()
+        snap = reg.snapshot()
+        assert snap["schema"] == "repro.obs.metrics/v1"
+        assert list(snap["counters"]) == ["a", "z"]
+        json.dumps(snap)  # must not raise
+
+    def test_gauge_snapshot_nan_free_when_unset(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.gauge("g")
+        snap = reg.snapshot()
+        g = snap["gauges"]["g"]
+        assert g["min"] is None and g["max"] is None
+        assert not any(
+            isinstance(v, float) and math.isnan(v) for v in g.values() if v is not None
+        )

@@ -1,0 +1,127 @@
+"""Span tracer tests: buffering, bounds, JSONL round-trip."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.tracing import (
+    TRACE_SCHEMA,
+    SpanRecord,
+    Tracer,
+    read_jsonl,
+    spans_from_jsonl,
+)
+
+
+class TestTracer:
+    def test_record_and_duration(self):
+        t = Tracer()
+        t.record("device.read", 1.0, 1.5, clock="sim", nbytes=4096)
+        assert len(t) == 1
+        s = t.spans[0]
+        assert s.duration == pytest.approx(0.5)
+        assert s.attrs == {"nbytes": 4096}
+
+    def test_bad_clock_rejected(self):
+        t = Tracer()
+        with pytest.raises(ConfigurationError):
+            t.record("x", 0.0, 1.0, clock="cpu")
+
+    def test_bounded_buffer_counts_drops(self):
+        t = Tracer(max_spans=2)
+        for i in range(5):
+            t.record("x", float(i), float(i + 1))
+        assert len(t) == 2
+        assert t.n_dropped == 3
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Tracer(max_spans=0)
+
+    def test_clear(self):
+        t = Tracer(max_spans=1)
+        t.record("x", 0.0, 1.0)
+        t.record("y", 0.0, 1.0)  # dropped
+        t.clear()
+        assert len(t) == 0 and t.n_dropped == 0
+
+    def test_wall_span_contextmanager(self):
+        t = Tracer()
+        with t.span("work", label="w"):
+            pass
+        (s,) = t.spans
+        assert s.clock == "wall"
+        assert s.end >= s.start
+        assert s.attrs == {"label": "w"}
+
+
+class TestJSONLRoundTrip:
+    def test_round_trip_exact(self):
+        t = Tracer()
+        t.record("device.read", 0.0, 0.25, clock="sim", offset=0, nbytes=4096)
+        t.record("runner.sweep", 1.0, 3.5, clock="wall", jobs=2)
+        back = spans_from_jsonl(t.to_jsonl())
+        assert back == t.spans
+
+    def test_header_first_line(self):
+        import json
+
+        t = Tracer()
+        t.record("x", 0.0, 1.0)
+        header = json.loads(t.to_jsonl().splitlines()[0])
+        assert header == {
+            "type": "header",
+            "schema": TRACE_SCHEMA,
+            "n_spans": 1,
+            "n_dropped": 0,
+        }
+
+    def test_export_and_read_file(self, tmp_path):
+        t = Tracer()
+        t.record("x", 0.0, 1.0, clock="sim", k="v")
+        path = t.export_jsonl(tmp_path / "sub" / "trace.jsonl")
+        assert path.exists()
+        assert read_jsonl(path) == t.spans
+
+    def test_empty_trace_round_trips(self):
+        assert spans_from_jsonl(Tracer().to_jsonl()) == []
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spans_from_jsonl('{"type": "span", "name": "x"}\n')
+
+    def test_alien_schema_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spans_from_jsonl('{"type": "header", "schema": "other/v9"}\n')
+
+    def test_unknown_record_type_rejected(self):
+        text = (
+            '{"type": "header", "schema": "%s", "n_spans": 0, "n_dropped": 0}\n'
+            '{"type": "blob"}\n' % TRACE_SCHEMA
+        )
+        with pytest.raises(ConfigurationError):
+            spans_from_jsonl(text)
+
+    def test_inconsistent_times_rejected(self):
+        text = (
+            '{"type": "header", "schema": "%s", "n_spans": 1, "n_dropped": 0}\n'
+            '{"type": "span", "name": "x", "clock": "sim", "start": 5.0, "end": 1.0, "attrs": {}}\n'
+            % TRACE_SCHEMA
+        )
+        with pytest.raises(ConfigurationError):
+            spans_from_jsonl(text)
+
+    def test_span_count_mismatch_rejected(self):
+        text = '{"type": "header", "schema": "%s", "n_spans": 3, "n_dropped": 0}\n' % TRACE_SCHEMA
+        with pytest.raises(ConfigurationError):
+            spans_from_jsonl(text)
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spans_from_jsonl("")
+
+
+class TestSpanRecord:
+    def test_frozen(self):
+        s = SpanRecord("x", "sim", 0.0, 1.0)
+        with pytest.raises(AttributeError):
+            s.name = "y"

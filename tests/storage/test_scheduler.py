@@ -99,6 +99,41 @@ class TestOversubscription:
         assert sched.steps == 3
 
 
+class TestExpansionDedup:
+    def test_adjacent_demands_no_duplicate_fetch(self):
+        # Regression: with demands at blocks 0 and 1, client 0's read-ahead
+        # run starts at block 1 — which this very step already fetches as
+        # client 1's demand.  The expansion must skip past it instead of
+        # burning a parallel slot on a duplicate.
+        sched, dev = make(P=4)
+        sched.submit("a", 0)
+        sched.submit("b", 1)
+        served = sched.step()
+        blocks = [blk for fetched in served.values() for blk in fetched]
+        assert len(blocks) == len(set(blocks)), f"duplicate fetch in {served}"
+        assert len(blocks) == 4  # every slot used, all on distinct blocks
+        assert dev.slots_wasted == 0
+
+    def test_interleaved_runs_stay_disjoint(self):
+        # Three adjacent demands with P=8: every expansion run starts inside
+        # another client's territory and must leapfrog it.
+        sched, _ = make(P=8)
+        for name, blk in (("a", 0), ("b", 1), ("c", 2)):
+            sched.submit(name, blk)
+        served = sched.step()
+        blocks = [blk for fetched in served.values() for blk in fetched]
+        assert sorted(blocks) == list(range(8))
+
+    def test_dedup_preserves_far_apart_behaviour(self):
+        # Far-apart demands are unaffected by the dedup logic.
+        sched, _ = make(P=4)
+        sched.submit("a", 10)
+        sched.submit("b", 50)
+        served = sched.step()
+        assert served["a"] == [10, 11]
+        assert served["b"] == [50, 51]
+
+
 class TestAgainstNaive:
     def test_readahead_never_slower(self):
         # With k=1, read-ahead turns 4 dependent fetches of consecutive
