@@ -11,8 +11,12 @@ class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package."""
 
 
-class ConfigurationError(ReproError):
-    """A component was constructed with invalid or inconsistent parameters."""
+class ConfigurationError(ReproError, ValueError):
+    """A component was constructed with invalid or inconsistent parameters.
+
+    Also a :class:`ValueError`: bad constructor arguments are value errors,
+    and callers outside this package reasonably write ``except ValueError``.
+    """
 
 
 class StorageError(ReproError):
@@ -23,8 +27,20 @@ class OutOfSpaceError(StorageError):
     """The extent allocator could not satisfy an allocation request."""
 
 
-class InvalidIOError(StorageError):
-    """An IO request was malformed (bad offset, zero length, out of range)."""
+class InvalidIOError(StorageError, ValueError):
+    """An IO request was malformed (bad offset, zero length, out of range).
+
+    Also a :class:`ValueError` for the same reason as
+    :class:`ConfigurationError`.
+    """
+
+
+class TransientIOError(StorageError):
+    """An injected transient device failure (see :mod:`repro.faults`).
+
+    Retrying the same IO may succeed; resilience policies do exactly that.
+    Fault-free devices never raise it.
+    """
 
 
 class CacheError(StorageError):

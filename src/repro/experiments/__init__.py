@@ -26,6 +26,7 @@ asymmetry extension (E14)        exp_asymmetry
 ycsb      extension (E15)        exp_ycsb
 modelerr  extension (E16)        exp_model_error
 autotune  extension (E17)        exp_autotune
+tailres   extension (E18)        exp_tail_resilience
 ========  =====================  ======================================
 
 Pass ``--plot`` to append an ASCII rendering for the figure experiments,

@@ -22,6 +22,7 @@ from repro.experiments import (
     exp_pdam_concurrency,
     exp_pdam_validation,
     exp_sensitivity,
+    exp_tail_resilience,
     exp_write_amp,
     exp_ycsb,
 )
@@ -43,21 +44,42 @@ EXPERIMENTS: dict[str, Callable[[], object]] = {
     "ycsb": exp_ycsb.run,
     "modelerr": exp_model_error.run,
     "autotune": exp_autotune.run,
+    "tailres": exp_tail_resilience.run,
 }
 
 #: Experiments migrated to repro.runner: these accept ``jobs=``/``cache=``.
-RUNNER_EXPERIMENTS = frozenset({"table2", "fig2", "fig3", "autotune"})
+RUNNER_EXPERIMENTS = frozenset({"table2", "fig2", "fig3", "autotune", "tailres"})
+
+#: Experiments that understand the fault flags (--faults/--policy/--quick).
+FAULT_EXPERIMENTS = frozenset({"tailres"})
 
 
-def _run_one(name: str, *, jobs: int, use_cache: bool) -> object:
-    """Invoke one experiment, routing runner kwargs where supported."""
+def _run_one(
+    name: str,
+    *,
+    jobs: int,
+    use_cache: bool,
+    faults: str | None = None,
+    policy: str | None = None,
+    quick: bool = False,
+) -> object:
+    """Invoke one experiment, routing runner/fault kwargs where supported."""
     fn = EXPERIMENTS[name]
     if name not in RUNNER_EXPERIMENTS:
         return fn()
     from repro.runner import ResultCache, default_cache_dir
 
     cache = ResultCache(default_cache_dir()) if use_cache else None
-    return fn(jobs=jobs, cache=cache)
+    kwargs: dict[str, object] = {"jobs": jobs, "cache": cache}
+    if name in FAULT_EXPERIMENTS:
+        if faults is not None:
+            from repro.faults import FaultPlan
+
+            kwargs["plan"] = FaultPlan.from_file(faults)
+        if policy is not None:
+            kwargs["policies"] = (policy,)
+        kwargs["quick"] = quick
+    return fn(**kwargs)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -94,6 +116,25 @@ def main(argv: list[str] | None = None) -> int:
         "--no-cache",
         action="store_true",
         help="recompute every sweep point, ignoring the on-disk result cache",
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="PLAN.json",
+        default=None,
+        help="fault plan for fault-aware experiments (schema: docs/faults.md); "
+        "default is the experiment's built-in plan",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=["none", "retry", "hedge"],
+        default=None,
+        help="restrict fault-aware experiments to one resilience policy "
+        "(default: sweep all three)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink fault-aware experiments to CI-smoke size",
     )
     parser.add_argument(
         "--profile",
@@ -137,12 +178,25 @@ def main(argv: list[str] | None = None) -> int:
 
             profiler = cProfile.Profile()
             result = profiler.runcall(
-                _run_one, name, jobs=args.jobs, use_cache=not args.no_cache
+                _run_one,
+                name,
+                jobs=args.jobs,
+                use_cache=not args.no_cache,
+                faults=args.faults,
+                policy=args.policy,
+                quick=args.quick,
             )
             stats = pstats.Stats(profiler, stream=sys.stdout)
             stats.sort_stats(pstats.SortKey.CUMULATIVE).print_stats(20)
         else:
-            result = _run_one(name, jobs=args.jobs, use_cache=not args.no_cache)
+            result = _run_one(
+                name,
+                jobs=args.jobs,
+                use_cache=not args.no_cache,
+                faults=args.faults,
+                policy=args.policy,
+                quick=args.quick,
+            )
         wall = time.perf_counter() - t0
         print(result.render())
         if args.plot and hasattr(result, "render_plot"):

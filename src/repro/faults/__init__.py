@@ -1,0 +1,32 @@
+"""repro.faults — deterministic fault injection and resilient IO policies.
+
+The robustness layer of the simulator:
+
+* :class:`~repro.faults.plan.FaultPlan` — a seeded, JSON-serializable
+  description of device misbehavior (latency spikes, transient errors,
+  degraded phases, PDAM channel stalls);
+* :class:`~repro.faults.device.FaultyDevice` — wraps any
+  :class:`~repro.storage.device.BlockDevice` and injects the plan from
+  its own RNG stream, so fault-free runs stay byte-identical;
+* :class:`~repro.faults.policy.ResiliencePolicy` — retry-with-backoff
+  and hedged reads, interpreted by the faulty device, the storage stack
+  and the closed-loop engine.
+
+See docs/faults.md for the plan schema, the policy knobs, and the
+determinism guarantee; experiment E18 (``tailres``) measures the
+policies' effect on tail latency.
+"""
+
+from repro.faults.device import FaultyDevice
+from repro.faults.plan import PLAN_SCHEMA, DegradedPhase, FaultPlan
+from repro.faults.policy import POLICY_NAMES, FaultStats, ResiliencePolicy
+
+__all__ = [
+    "PLAN_SCHEMA",
+    "POLICY_NAMES",
+    "DegradedPhase",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyDevice",
+    "ResiliencePolicy",
+]

@@ -1,0 +1,199 @@
+"""Deterministic fault injection around any block device.
+
+:class:`FaultyDevice` wraps a :class:`~repro.storage.device.BlockDevice`
+and perturbs its timings according to a :class:`~repro.faults.plan.FaultPlan`,
+optionally reacting with a :class:`~repro.faults.policy.ResiliencePolicy`:
+
+* **latency spikes** — Pareto-tailed extra latency on a per-IO coin flip;
+* **transient errors** — the IO runs, its time is charged to the inner
+  device, then :class:`~repro.errors.TransientIOError` is raised (or the
+  IO is retried with backoff, under the policy's budget);
+* **degraded phases** — timed windows multiplying service time;
+* **hedged reads** — when a read (base + spike) would run past the
+  policy's deadline, a duplicate is issued at the deadline and the first
+  completion wins.  The duplicate is a real IO: it charges the inner
+  device again, which on a PDAM device burns one of the otherwise wasted
+  parallel slots — the model-driven resilience move.
+
+Determinism: all fault decisions come from the plan's own RNG stream,
+touched *only* when the corresponding probability is positive.  A plan
+with every probability at zero therefore leaves the wrapper's timings —
+and the inner device's RNG position — byte-identical to the unwrapped
+device.
+
+Accounting: the wrapper keeps its own clock and
+:class:`~repro.storage.device.DeviceStats` (what experiments read, faults
+included); the inner device accumulates the raw attempts, so
+``inner.stats.reads`` exceeds the wrapper's exactly by the retried and
+hedged IOs.  A retry-exhausted IO propagates its error without advancing
+the wrapper clock — the op failed; its wasted device time is visible on
+the inner stats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TransientIOError
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import FaultStats, ResiliencePolicy
+from repro.obs import OBS
+from repro.storage.device import BlockDevice
+
+
+class FaultyDevice(BlockDevice):
+    """A block device that misbehaves on schedule.
+
+    Parameters
+    ----------
+    inner:
+        The device whose timings are being perturbed.  Must be freshly
+        constructed or reset — the wrapper assumes the clocks start
+        together.
+    plan:
+        What to inject (see :class:`~repro.faults.plan.FaultPlan`).
+    policy:
+        How to react (default: :meth:`ResiliencePolicy.none`).
+    """
+
+    def __init__(
+        self,
+        inner: BlockDevice,
+        plan: FaultPlan,
+        *,
+        policy: ResiliencePolicy | None = None,
+        trace: bool = False,
+    ) -> None:
+        if isinstance(inner, FaultyDevice):
+            raise ConfigurationError("nesting FaultyDevice wrappers is not supported")
+        super().__init__(inner.capacity_bytes, trace=trace)
+        self.inner = inner
+        self.plan = plan
+        self.policy = policy if policy is not None else ResiliencePolicy.none()
+        self.fault_stats = FaultStats()
+        self._rng = np.random.default_rng(plan.seed)
+
+    # -- fault pipeline ------------------------------------------------------
+
+    def _draw_spike(self) -> float:
+        """Extra seconds of a latency spike (0.0 when the coin says no).
+
+        Touches the RNG only when spikes are enabled; a spike draws once
+        for the coin and once for the Pareto magnitude.
+        """
+        plan = self.plan
+        if plan.spike_prob <= 0.0:
+            return 0.0
+        if self._rng.random() >= plan.spike_prob:
+            return 0.0
+        magnitude = plan.spike_seconds * (1.0 + float(self._rng.pareto(plan.spike_alpha)))
+        self.fault_stats.spikes_injected += 1
+        if OBS.enabled:
+            OBS.counter("faults.injected").inc()
+            OBS.counter("faults.spikes").inc()
+            OBS.histogram("faults.spike_seconds").record(magnitude)
+        return magnitude
+
+    def _draw_error(self) -> bool:
+        """Whether this attempt fails transiently (RNG touched only if enabled)."""
+        plan = self.plan
+        if plan.error_prob <= 0.0:
+            return False
+        if self._rng.random() >= plan.error_prob:
+            return False
+        self.fault_stats.errors_injected += 1
+        if OBS.enabled:
+            OBS.counter("faults.injected").inc()
+            OBS.counter("faults.errors").inc()
+        return True
+
+    def _service(self, kind: str, offset: int, nbytes: int, at: float) -> float:
+        """One resilient IO: inject faults, apply the policy, price the result.
+
+        Returns the completion time; raises :class:`TransientIOError` when
+        an injected error survives the retry budget.
+        """
+        plan, policy = self.plan, self.policy
+        inner_io = self.inner.read if kind == "read" else self.inner.write
+        factor = plan.slowdown_at(at) if plan.degraded else 1.0
+        spent = 0.0  # seconds this op has consumed so far (attempts + waits)
+        backoff = policy.backoff_seconds
+        attempt = 0
+        while True:
+            base = inner_io(offset, nbytes)
+            errored = self._draw_error()
+            if not errored:
+                break
+            # The failed attempt ran to completion before failing: its
+            # device time is part of the op, whatever happens next.
+            spent += base * factor
+            if (
+                not policy.retries_enabled
+                or attempt >= policy.max_retries
+                or spent + backoff > policy.timeout_seconds
+            ):
+                self.fault_stats.retry_giveups += 1
+                if OBS.enabled:
+                    OBS.counter("io.retry_giveups").inc()
+                raise TransientIOError(
+                    f"injected transient {kind} failure at offset {offset} "
+                    f"(attempt {attempt + 1}, {spent:.3g}s spent)"
+                )
+            spent += backoff
+            backoff *= policy.backoff_multiplier
+            attempt += 1
+            self.fault_stats.retries += 1
+            if OBS.enabled:
+                OBS.counter("io.retries").inc()
+
+        service = base * factor + self._draw_spike()
+        if (
+            kind == "read"
+            and policy.hedge_enabled
+            and service > policy.hedge_deadline_seconds
+        ):
+            # Issue a duplicate at the deadline; first completion wins.
+            # The duplicate is a full second IO (charged to the inner
+            # device — on a PDAM this is the spare-slot spend) and draws
+            # its own spike, so hedging turns the tail into min-of-two.
+            self.fault_stats.hedges_issued += 1
+            dup = policy.hedge_deadline_seconds + inner_io(offset, nbytes) * factor
+            dup += self._draw_spike()
+            if OBS.enabled:
+                OBS.counter("io.hedges_issued").inc()
+            if dup < service:
+                service = dup
+                self.fault_stats.hedge_wins += 1
+                if OBS.enabled:
+                    OBS.counter("io.hedge_wins").inc()
+        return at + spent + service
+
+    def _service_read(self, offset: int, nbytes: int, at: float) -> float:
+        return self._service("read", offset, nbytes, at)
+
+    def _service_write(self, offset: int, nbytes: int, at: float) -> float:
+        return self._service("write", offset, nbytes, at)
+
+    # -- identity and lifecycle ----------------------------------------------
+
+    def describe(self) -> dict[str, object]:
+        d = super().describe()
+        d.update(
+            inner=self.inner.describe(),
+            plan=self.plan.describe(),
+            policy=self.policy.describe(),
+        )
+        return d
+
+    def reset(self) -> None:
+        """Reset wrapper clock/stats, fault counters, RNG, and the inner device."""
+        super().reset()
+        self.inner.reset()
+        self.fault_stats.reset()
+        self._rng = np.random.default_rng(self.plan.seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FaultyDevice({self.inner!r}, plan.seed={self.plan.seed}, "
+            f"policy={self.policy.name})"
+        )

@@ -1,0 +1,213 @@
+"""Fault plans: seeded, declarative descriptions of device misbehavior.
+
+A :class:`FaultPlan` says *what can go wrong* — heavy-tailed latency
+spikes, transient IO errors, timed degraded-bandwidth phases, and (on
+PDAM devices) per-channel stalls — and carries its own RNG seed so fault
+injection draws from a stream entirely separate from workload and device
+randomness.  Two consequences, both load-bearing:
+
+* **Determinism.** The same plan on the same workload injects the same
+  faults, IO for IO, so a fault experiment is as reproducible as a
+  fault-free one.
+* **Isolation.** A plan with every probability at zero never touches its
+  RNG, so wrapping a device in a zero plan (or attaching no plan at all)
+  leaves every simulated timing byte-identical to bare hardware — the
+  invariant ``tests/faults/test_identity.py`` pins.
+
+Plans serialize to JSON (``--faults PLAN.json`` on the experiment CLI);
+the schema is frozen in docs/faults.md.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+#: Schema tag written into exported plans, checked on load.
+PLAN_SCHEMA = "repro.faults.plan/v1"
+
+
+@dataclass(frozen=True)
+class DegradedPhase:
+    """A timed window of reduced device speed.
+
+    Between ``start_seconds`` and ``end_seconds`` (simulated device time,
+    half-open interval) every IO's service time is multiplied by
+    ``slowdown`` — the whole-device analogue of an SSD entering thermal
+    throttling or a background GC phase.
+    """
+
+    start_seconds: float
+    end_seconds: float
+    slowdown: float
+
+    def __post_init__(self) -> None:
+        if self.start_seconds < 0 or self.end_seconds <= self.start_seconds:
+            raise ConfigurationError(
+                f"degraded phase needs 0 <= start < end, got "
+                f"[{self.start_seconds}, {self.end_seconds})"
+            )
+        if self.slowdown < 1.0:
+            raise ConfigurationError(
+                f"slowdown must be >= 1 (a speedup is not a fault), got {self.slowdown}"
+            )
+
+    def active_at(self, at: float) -> bool:
+        """Whether simulated time ``at`` falls inside this phase."""
+        return self.start_seconds <= at < self.end_seconds
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What faults to inject, with what probability, from what seed.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the fault RNG stream.  Independent of every workload and
+        device seed by construction (it feeds its own generator).
+    spike_prob:
+        Per-IO probability of a latency spike.
+    spike_seconds:
+        Scale of the spike: extra latency is ``spike_seconds * (1 + X)``
+        with ``X`` Pareto-distributed — heavy-tailed, so a small minority
+        of spikes are much larger than the median, which is exactly the
+        p99-vs-mean gap the resilience policies attack.
+    spike_alpha:
+        Pareto tail index; smaller means heavier tails.
+    error_prob:
+        Per-IO probability of a transient failure.  The IO runs (its time
+        is charged) and then raises
+        :class:`~repro.errors.TransientIOError`; a retry may succeed.
+    degraded:
+        Timed :class:`DegradedPhase` windows (sorted by start time).
+    stall_prob:
+        PDAM only — per-channel, per-step probability that a channel
+        stalls (see :class:`~repro.storage.scheduler.ReadAheadScheduler`).
+    stall_steps:
+        Maximum extra steps a single channel stall lasts (uniform on
+        ``1..stall_steps``).
+    """
+
+    seed: int = 0
+    spike_prob: float = 0.0
+    spike_seconds: float = 0.0
+    spike_alpha: float = 1.5
+    error_prob: float = 0.0
+    degraded: tuple[DegradedPhase, ...] = field(default=())
+    stall_prob: float = 0.0
+    stall_steps: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("spike_prob", "error_prob", "stall_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {p}")
+        if self.spike_seconds < 0:
+            raise ConfigurationError(
+                f"spike_seconds must be non-negative, got {self.spike_seconds}"
+            )
+        if self.spike_prob > 0 and self.spike_seconds == 0:
+            raise ConfigurationError("spike_prob > 0 needs spike_seconds > 0")
+        if self.spike_alpha <= 0:
+            raise ConfigurationError(f"spike_alpha must be positive, got {self.spike_alpha}")
+        if self.stall_steps < 1:
+            raise ConfigurationError(f"stall_steps must be >= 1, got {self.stall_steps}")
+        object.__setattr__(self, "degraded", tuple(self.degraded))
+        for phase in self.degraded:
+            if not isinstance(phase, DegradedPhase):
+                raise ConfigurationError(
+                    f"degraded entries must be DegradedPhase, got {type(phase).__name__}"
+                )
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def injects_anything(self) -> bool:
+        """Whether this plan can ever perturb a timing."""
+        return bool(
+            self.spike_prob or self.error_prob or self.stall_prob or self.degraded
+        )
+
+    def slowdown_at(self, at: float) -> float:
+        """Combined slowdown multiplier of the phases active at ``at``."""
+        factor = 1.0
+        for phase in self.degraded:
+            if phase.active_at(at):
+                factor *= phase.slowdown
+        return factor
+
+    def scaled(self, intensity: float) -> "FaultPlan":
+        """This plan with every probability scaled by ``intensity``.
+
+        Probabilities clamp at 1.0; ``intensity=0`` yields a plan that
+        injects nothing.  Used by E18 to sweep fault intensity from one
+        base plan.
+        """
+        if intensity < 0:
+            raise ConfigurationError(f"intensity must be non-negative, got {intensity}")
+        return FaultPlan(
+            seed=self.seed,
+            spike_prob=min(1.0, self.spike_prob * intensity),
+            spike_seconds=self.spike_seconds,
+            spike_alpha=self.spike_alpha,
+            error_prob=min(1.0, self.error_prob * intensity),
+            degraded=self.degraded,
+            stall_prob=min(1.0, self.stall_prob * intensity),
+            stall_steps=self.stall_steps,
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Canonical JSON of this plan (schema: docs/faults.md)."""
+        payload: dict[str, Any] = {"schema": PLAN_SCHEMA}
+        payload.update(asdict(self))
+        payload["degraded"] = [asdict(p) for p in self.degraded]
+        return json.dumps(payload, sort_keys=True, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan exported by :meth:`to_json`; validates the schema."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ConfigurationError("fault plan JSON must be an object")
+        schema = payload.pop("schema", PLAN_SCHEMA)
+        if schema != PLAN_SCHEMA:
+            raise ConfigurationError(
+                f"unknown fault-plan schema {schema!r} (expected {PLAN_SCHEMA!r})"
+            )
+        phases = payload.pop("degraded", [])
+        if not isinstance(phases, list):
+            raise ConfigurationError("'degraded' must be a list of phase objects")
+        known = {f for f in cls.__dataclass_fields__ if f != "degraded"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(f"unknown fault-plan fields: {sorted(unknown)}")
+        try:
+            degraded = tuple(DegradedPhase(**p) for p in phases)
+        except TypeError as exc:
+            raise ConfigurationError(f"bad degraded phase: {exc}") from exc
+        return cls(degraded=degraded, **payload)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "FaultPlan":
+        """Load a plan from a JSON file (the CLI's ``--faults PLAN.json``)."""
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read fault plan {path}: {exc}") from exc
+        return cls.from_json(text)
+
+    def describe(self) -> dict[str, Any]:
+        """Stable JSON-able identity (for device fingerprints)."""
+        d = asdict(self)
+        d["degraded"] = [asdict(p) for p in self.degraded]
+        return d

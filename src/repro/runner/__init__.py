@@ -16,7 +16,13 @@ from repro.runner.cache import (
     default_cache_dir,
     fingerprint,
 )
-from repro.runner.executor import SweepReport, resolve_jobs, run_sweep
+from repro.runner.executor import (
+    ON_ERROR_MODES,
+    PointError,
+    SweepReport,
+    resolve_jobs,
+    run_sweep,
+)
 from repro.runner.kernels import get_kernel, kernel_names, register
 from repro.runner.spec import SweepPoint, SweepSpec
 
@@ -24,6 +30,8 @@ __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_EPOCH",
     "MISS",
+    "ON_ERROR_MODES",
+    "PointError",
     "ResultCache",
     "SweepPoint",
     "SweepReport",

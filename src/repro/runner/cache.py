@@ -84,27 +84,64 @@ class ResultCache:
     Writes are atomic (temp file + :func:`os.replace`), so concurrent
     executors racing on the same point at worst compute it twice — they
     never read a torn file.
+
+    **Corrupt entries are quarantined, not left in place.**  Any failure
+    to unpickle — truncation, garbage bytes, *and* stale-layout failures
+    such as ``AttributeError``/``ModuleNotFoundError`` from a class that
+    moved or changed since the entry was written — is treated as a miss,
+    and the offending file is moved to a ``quarantine/`` sibling of the
+    fingerprint fan-out so the same entry cannot fail again on the next
+    run (and stays inspectable for debugging).
     """
+
+    #: Directory (under the cache root) corrupt entries are moved into.
+    QUARANTINE_DIR = "quarantine"
 
     def __init__(self, root: Path | str) -> None:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def _path(self, fp: str) -> Path:
         return self.root / fp[:2] / f"{fp}.pkl"
 
     def get(self, fp: str) -> Any:
-        """The cached value for ``fp``, or :data:`MISS` when absent."""
+        """The cached value for ``fp``, or :data:`MISS` when absent/corrupt."""
         path = self._path(fp)
         try:
-            with path.open("rb") as fh:
+            fh = path.open("rb")
+        except OSError:
+            self.misses += 1
+            return _MISS
+        try:
+            with fh:
                 value = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError):
+        except Exception:
+            # Unpickling can fail in arbitrary ways (UnpicklingError,
+            # EOFError on truncation, AttributeError/ModuleNotFoundError on
+            # stale class layouts, ...).  All of them mean the same thing:
+            # this entry is unusable — quarantine it and recompute.
+            self._quarantine(path)
             self.misses += 1
             return _MISS
         self.hits += 1
         return value
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry out of the lookup path (atomic rename)."""
+        qdir = self.root / self.QUARANTINE_DIR
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+        except OSError:
+            # Cross-device or permission trouble: deleting still unblocks
+            # the cache, losing only the forensic copy.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.quarantined += 1
 
     def put(self, fp: str, value: Any) -> None:
         """Store ``value`` under ``fp`` atomically."""

@@ -8,8 +8,18 @@ makes it visible by never letting scheduling order leak into output
 order.
 
 Worker processes are forked (Linux), so kernels and their imports are
-inherited rather than re-imported; the payload crossing the pipe is just
-``(kernel_name, params_dict)`` and the pickled result coming back.
+inherited rather than re-imported; the payload crossing the pipe carries
+the spec index, so out-of-order arrivals (:meth:`Pool.imap_unordered`)
+land back in their spec slot.
+
+**Crash safety.**  Fresh results are written to the cache *as each point
+completes*, not after the whole sweep: an interrupted sweep — a crashed
+worker, a ^C, an OOM kill — resumes from its completed points on the
+next run.  A kernel that raises aborts the sweep by default
+(``on_error="raise"``, previous behaviour); with ``on_error="isolate"``
+the failing point yields a :class:`PointError` placeholder in its spec
+slot and every other point still completes.  ``PointError`` results are
+never cached — a fixed kernel recomputes them.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import traceback
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -25,6 +36,31 @@ from repro.obs import OBS
 from repro.runner.cache import ResultCache
 from repro.runner.kernels import get_kernel
 from repro.runner.spec import SweepSpec
+
+#: Valid values for :func:`run_sweep`'s ``on_error`` parameter.
+ON_ERROR_MODES = ("raise", "isolate")
+
+
+@dataclass(frozen=True)
+class PointError:
+    """Placeholder result for a sweep point whose kernel raised.
+
+    Returned (in the failing point's spec slot) by
+    :func:`run_sweep(..., on_error="isolate")` so one bad point cannot
+    sink a thousand good ones.  Carries enough to diagnose without
+    re-running: the kernel name, the point's cache fingerprint, and the
+    worker-side exception rendered to strings (the original exception
+    object may not survive the pool boundary).
+    """
+
+    kernel: str
+    fingerprint: str
+    error_type: str
+    message: str
+    traceback: str
+
+    def __str__(self) -> str:
+        return f"PointError({self.kernel}: {self.error_type}: {self.message})"
 
 
 @dataclass
@@ -35,13 +71,16 @@ class SweepReport:
     n_points: int
     n_cached: int = 0
     n_computed: int = 0
+    n_errors: int = 0
     jobs: int = 1
     fingerprints: tuple[str, ...] = field(default=())
 
     def summary(self) -> str:
+        errors = f", {self.n_errors} errors" if self.n_errors else ""
         return (
             f"sweep {self.spec_name}: {self.n_points} points "
-            f"({self.n_cached} cached, {self.n_computed} computed, jobs={self.jobs})"
+            f"({self.n_cached} cached, {self.n_computed} computed{errors}, "
+            f"jobs={self.jobs})"
         )
 
 
@@ -54,22 +93,28 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
-def _compute(payload: tuple[str, dict[str, Any]]) -> Any:
-    """Worker entry point: run one kernel.  Module-level for picklability."""
-    kernel_name, params = payload
-    return get_kernel(kernel_name)(**params)
+def _run_point(
+    payload: tuple[int, str, dict[str, Any], bool, bool],
+) -> tuple[int, tuple[Any, ...]]:
+    """Worker entry point: run one kernel.  Module-level for picklability.
 
-
-def _compute_timed(payload: tuple[str, dict[str, Any]]) -> tuple[Any, float]:
-    """Like :func:`_compute`, returning ``(result, wall_seconds)``.
-
-    Used when observability is on: workers time themselves, so per-point
-    wall clocks survive the pool boundary (a forked worker's own metrics
-    registry dies with it).  The kernel call is identical, so results stay
-    bit-for-bit the same as the untimed path.
+    Returns ``(spec_index, outcome)`` with outcome either
+    ``("ok", value, wall_seconds)`` or — only when ``guarded`` —
+    ``("err", type_name, message, traceback_str)``.  Unguarded workers
+    let the exception propagate so the pool re-raises it in the parent
+    (the ``on_error="raise"`` contract).  The kernel call itself is
+    identical in every mode, so results stay bit-for-bit the same.
     """
-    start = time.perf_counter()
-    return _compute(payload), time.perf_counter() - start
+    idx, kernel_name, params, timed, guarded = payload
+    start = time.perf_counter() if timed else 0.0
+    try:
+        value = get_kernel(kernel_name)(**params)
+    except Exception as exc:
+        if not guarded:
+            raise
+        return idx, ("err", type(exc).__name__, str(exc), traceback.format_exc())
+    seconds = time.perf_counter() - start if timed else 0.0
+    return idx, ("ok", value, seconds)
 
 
 def run_sweep(
@@ -78,14 +123,25 @@ def run_sweep(
     jobs: int = 1,
     cache: ResultCache | None = None,
     report: SweepReport | None = None,
+    on_error: str = "raise",
 ) -> list[Any]:
     """Execute every point in ``spec``; results in spec order.
 
     ``jobs=1`` computes in-process; ``jobs>1`` fans uncached points over a
     fork-context :class:`multiprocessing.Pool`.  When ``cache`` is given,
     points whose fingerprint is present are read back instead of computed,
-    and fresh results are stored after computing.
+    and each fresh result is stored *the moment it completes*, so an
+    interrupted sweep resumes from partial progress.
+
+    ``on_error="raise"`` (default) propagates the first kernel exception
+    (points already completed stay cached); ``on_error="isolate"`` puts a
+    :class:`PointError` in the failing point's slot and keeps going.
     """
+    if on_error not in ON_ERROR_MODES:
+        raise ConfigurationError(
+            f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+        )
+    guarded = on_error == "isolate"
     jobs = resolve_jobs(jobs)
     results: list[Any] = [None] * len(spec.points)
     pending: list[int] = []  # spec indices that must be computed
@@ -107,21 +163,17 @@ def run_sweep(
         OBS.counter("runner.cache_hits").inc(len(spec.points) - len(pending))
         OBS.counter("runner.cache_misses").inc(len(pending))
 
-    payloads = [
-        (spec.points[i].kernel, spec.points[i].param_dict()) for i in pending
-    ]
-    if payloads:
-        worker = _compute_timed if observe else _compute
-        sweep_start = time.perf_counter()
-        if jobs > 1 and len(payloads) > 1:
-            ctx = multiprocessing.get_context("fork")
-            with ctx.Pool(processes=min(jobs, len(payloads))) as pool:
-                computed = pool.map(worker, payloads)
-        else:
-            computed = [worker(p) for p in payloads]
-        if observe:
-            sweep_end = time.perf_counter()
-            for (i, (value, seconds)) in zip(pending, computed):
+    n_errors = 0
+
+    def settle(i: int, outcome: tuple[Any, ...]) -> None:
+        """Land one arrival in its spec slot; cache and observe it now."""
+        nonlocal n_errors
+        if outcome[0] == "ok":
+            _, value, seconds = outcome
+            results[i] = value
+            if cache is not None:
+                cache.put(fingerprints[i], value)
+            if observe:
                 OBS.histogram("runner.point_seconds").record(seconds)
                 if OBS.tracer is not None:
                     OBS.tracer.record(
@@ -133,6 +185,37 @@ def run_sweep(
                         kernel=spec.points[i].kernel,
                         fingerprint=fingerprints[i],
                     )
+        else:
+            _, error_type, message, tb = outcome
+            n_errors += 1
+            results[i] = PointError(
+                kernel=spec.points[i].kernel,
+                fingerprint=fingerprints[i],
+                error_type=error_type,
+                message=message,
+                traceback=tb,
+            )
+            if observe:
+                OBS.counter("runner.point_errors").inc()
+
+    payloads = [
+        (i, spec.points[i].kernel, spec.points[i].param_dict(), observe, guarded)
+        for i in pending
+    ]
+    if payloads:
+        sweep_start = time.perf_counter()
+        if jobs > 1 and len(payloads) > 1:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(processes=min(jobs, len(payloads))) as pool:
+                # Unordered arrival => each result is cached as soon as it
+                # exists, not when its spec-order predecessors finish.
+                for i, outcome in pool.imap_unordered(_run_point, payloads):
+                    settle(i, outcome)
+        else:
+            for payload in payloads:
+                settle(*_run_point(payload))
+        if observe:
+            sweep_end = time.perf_counter()
             if OBS.tracer is not None:
                 OBS.tracer.record(
                     "runner.sweep",
@@ -144,17 +227,13 @@ def run_sweep(
                     n_points=len(spec.points),
                     n_computed=len(pending),
                 )
-            computed = [value for value, _ in computed]
-        for i, value in zip(pending, computed):
-            results[i] = value
-            if cache is not None:
-                cache.put(fingerprints[i], value)
 
     if report is not None:
         report.spec_name = spec.name
         report.n_points = len(spec.points)
         report.n_cached = len(spec.points) - len(pending)
         report.n_computed = len(pending)
+        report.n_errors = n_errors
         report.jobs = jobs
         report.fingerprints = tuple(fingerprints)
     return results

@@ -204,3 +204,62 @@ def autotune_device(
         warmup_queries=warmup_queries,
         seed=seed,
     )
+
+
+# -- E18: tail latency and throughput under injected faults -----------------
+
+
+@register("tail_resilience_tree")
+def tail_resilience_tree(
+    *,
+    tree: str,
+    plan_json: str,
+    intensity: float,
+    policy: str,
+    n_entries: int,
+    cache_bytes: int,
+    universe: int,
+    n_queries: int,
+    warmup_queries: int,
+    seed: int,
+) -> dict[str, Any]:
+    """Per-query latency distribution of one tree under one (plan, policy)."""
+    from repro.experiments import exp_tail_resilience
+
+    return exp_tail_resilience.measure_tree(
+        tree,
+        plan_json=plan_json,
+        intensity=intensity,
+        policy=policy,
+        n_entries=n_entries,
+        cache_bytes=cache_bytes,
+        universe=universe,
+        n_queries=n_queries,
+        warmup_queries=warmup_queries,
+        seed=seed,
+    )
+
+
+@register("tail_resilience_pdam")
+def tail_resilience_pdam(
+    *,
+    plan_json: str,
+    intensity: float,
+    policy: str,
+    parallelism: int,
+    clients: int,
+    n_rounds: int,
+    seed: int,
+) -> dict[str, Any]:
+    """Closed-loop PDAM throughput under channel stalls, one (plan, policy)."""
+    from repro.experiments import exp_tail_resilience
+
+    return exp_tail_resilience.measure_pdam(
+        plan_json=plan_json,
+        intensity=intensity,
+        policy=policy,
+        parallelism=parallelism,
+        clients=clients,
+        n_rounds=n_rounds,
+        seed=seed,
+    )

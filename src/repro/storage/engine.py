@@ -20,10 +20,13 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Callable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TransientIOError
 from repro.obs import OBS
+
+if TYPE_CHECKING:  # pragma: no cover - the engine is below repro.faults
+    from repro.faults.policy import ResiliencePolicy
 
 
 class Resource:
@@ -99,6 +102,14 @@ class ClosedLoopRunner:
     service:
         ``service(request, issue_time) -> completion_time``.  Must only make
         forward-in-time reservations (all provided devices do).
+    policy:
+        Optional :class:`~repro.faults.policy.ResiliencePolicy`.  With one
+        attached, a service call that raises
+        :class:`~repro.errors.TransientIOError` is reissued after
+        exponential backoff (within the retry/timeout budget), and a
+        completion later than the hedge deadline triggers a duplicate
+        service call issued *at* the deadline, first completion winning.
+        ``None`` (default) leaves the hot loops exactly as before.
     """
 
     def __init__(
@@ -106,9 +117,59 @@ class ClosedLoopRunner:
         service: Callable[[object, float], float],
         *,
         single_server: bool = False,
+        policy: "ResiliencePolicy | None" = None,
     ) -> None:
         self._service = service
         self._single_server = bool(single_server)
+        self._policy = None if policy is None or policy.is_noop else policy
+        self.retries = 0
+        self.hedges_issued = 0
+        self.hedge_wins = 0
+
+    def _resolve_service(self) -> Callable[[object, float], float]:
+        """The per-request callable: raw service, or the resilient wrapper."""
+        if self._policy is None:
+            return self._service
+        return self._serve_resilient
+
+    def _serve_resilient(self, request: object, issue_time: float) -> float:
+        """Apply retry and hedging around one service call.
+
+        Backoff waits are simulated time: attempt ``i`` is issued
+        ``backoff * multiplier**(i-1)`` after the previous failure.  A
+        duplicate (hedged) call reserves real resource time, exactly like
+        a duplicate IO on hardware would.
+        """
+        policy = self._policy
+        assert policy is not None
+        attempt = 0
+        backoff = policy.backoff_seconds
+        at = issue_time
+        while True:
+            try:
+                done = self._service(request, at)
+                break
+            except TransientIOError:
+                waited = (at + backoff) - issue_time
+                if attempt >= policy.max_retries or waited > policy.timeout_seconds:
+                    raise
+                at += backoff
+                backoff *= policy.backoff_multiplier
+                attempt += 1
+                self.retries += 1
+                if OBS.enabled:
+                    OBS.counter("io.retries").inc()
+        if policy.hedge_enabled and done - issue_time > policy.hedge_deadline_seconds:
+            self.hedges_issued += 1
+            if OBS.enabled:
+                OBS.counter("io.hedges_issued").inc()
+            duplicate = self._service(request, issue_time + policy.hedge_deadline_seconds)
+            if duplicate < done:
+                done = duplicate
+                self.hedge_wins += 1
+                if OBS.enabled:
+                    OBS.counter("io.hedge_wins").inc()
+        return done
 
     def run(self, client_streams: Sequence[Iterator[object]], start_time: float = 0.0) -> list[float]:
         """Run every client to exhaustion; return per-client finish times.
@@ -129,6 +190,7 @@ class ClosedLoopRunner:
     def _run_heap(
         self, client_streams: Sequence[Iterator[object]], start_time: float
     ) -> list[float]:
+        service = self._resolve_service()
         iterators = [iter(s) for s in client_streams]
         finish = [start_time] * len(iterators)
         heap: list[tuple[float, int]] = []
@@ -141,7 +203,7 @@ class ClosedLoopRunner:
             except StopIteration:
                 finish[idx] = issue_time
                 continue
-            done = self._service(request, issue_time)
+            done = service(request, issue_time)
             if done < issue_time:
                 raise ConfigurationError(
                     f"service completed before issue ({done} < {issue_time}); "
@@ -174,6 +236,7 @@ class ClosedLoopRunner:
         heap ties) raises rather than silently reordering events.  A
         single client is trivially safe — rotation order is vacuous.
         """
+        service = self._resolve_service()
         iterators = [iter(s) for s in client_streams]
         finish = [start_time] * len(iterators)
         queue: deque[tuple[float, int]] = deque(
@@ -188,7 +251,7 @@ class ClosedLoopRunner:
             except StopIteration:
                 finish[idx] = issue_time
                 continue
-            done = self._service(request, issue_time)
+            done = service(request, issue_time)
             if done < issue_time:
                 raise ConfigurationError(
                     f"service completed before issue ({done} < {issue_time}); "

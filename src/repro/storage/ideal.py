@@ -228,6 +228,25 @@ class PDAMDevice(BlockDevice):
             OBS.histogram("device.pdam.step_occupancy").record(total)
         return self.clock
 
+    def stall(self, steps: int) -> float:
+        """Advance the clock by ``steps`` whole steps with every slot idle.
+
+        This is how channel-stall faults are priced: the scheduler detects
+        that a step's slowest channel needs ``steps`` extra time steps and
+        charges them here, with all ``P`` slots wasted for the duration
+        (the device is stuck, not working).  Returns the new clock.
+        """
+        if steps < 0:
+            raise InvalidIOError(f"stall steps must be non-negative, got {steps}")
+        if steps == 0:
+            return self.clock
+        self.steps_elapsed += steps
+        self.slots_wasted += steps * self.parallelism
+        dt = steps * self.model.step_seconds
+        self.clock += dt
+        self.stats.read_seconds += dt
+        return self.clock
+
     def block_of(self, offset: int) -> int:
         """Block index containing byte ``offset``."""
         if offset < 0 or offset >= self.capacity_bytes:

@@ -16,6 +16,15 @@ levels of the search path, so read-ahead turns into useful prefetching.
 
 With ``k > P`` clients, demands queue FIFO and each step serves the ``P``
 oldest — per-client progress degrades gracefully to ``P/k`` IOs per step.
+
+**Channel stalls (repro.faults).**  With a fault plan attached, each of
+the ``P`` channels may stall for a few steps (seeded RNG, drawn per
+step), and the step completes only when its slowest demanded channel
+does.  A hedging policy spends spare slots on *duplicates* of the
+stalled demands — the same unused-slot budget read-ahead uses — so a
+demand completes at the min of two channels' stalls.  With no plan
+attached the fault path is never entered and scheduling is byte-identical
+to fault-free operation.
 """
 
 from __future__ import annotations
@@ -23,7 +32,11 @@ from __future__ import annotations
 from collections import deque
 from typing import Hashable
 
+import numpy as np
+
 from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import FaultStats, ResiliencePolicy
 from repro.obs import OBS
 from repro.storage.ideal import PDAMDevice
 
@@ -37,11 +50,35 @@ class ReadAheadScheduler:
         The :class:`~repro.storage.ideal.PDAMDevice` to drive.
     expand_readahead:
         When false, unused slots are simply wasted (the naive baseline).
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan`; only its
+        ``stall_prob``/``stall_steps`` fields apply here (per-channel
+        stalls).  ``None`` (default) injects nothing.
+    policy:
+        Optional :class:`~repro.faults.policy.ResiliencePolicy`; a hedging
+        policy duplicates stalled demands onto spare slots.
     """
 
-    def __init__(self, device: PDAMDevice, *, expand_readahead: bool = True) -> None:
+    def __init__(
+        self,
+        device: PDAMDevice,
+        *,
+        expand_readahead: bool = True,
+        fault_plan: FaultPlan | None = None,
+        policy: ResiliencePolicy | None = None,
+    ) -> None:
         self.device = device
         self.expand_readahead = bool(expand_readahead)
+        self.fault_plan = fault_plan
+        self.policy = policy if policy is not None else ResiliencePolicy.none()
+        self.fault_stats = FaultStats()
+        # The RNG exists only when stalls can happen, so a fault-free
+        # scheduler never draws and stays byte-identical to pre-fault code.
+        self._fault_rng = (
+            np.random.default_rng(fault_plan.seed + 1)
+            if fault_plan is not None and fault_plan.stall_prob > 0
+            else None
+        )
         self._waiting: deque[tuple[Hashable, int]] = deque()
         self.steps = 0
 
@@ -75,6 +112,10 @@ class ReadAheadScheduler:
             fetched.setdefault(client, []).append(block)
 
         spare = P - len(served)
+        extra_steps = 0
+        hedged_offsets: list[int] = []
+        if self._fault_rng is not None:
+            extra_steps, hedged_offsets, spare = self._inject_stalls(served, spare)
         if self.expand_readahead and spare > 0:
             # Round-robin one extra consecutive block at a time so every
             # client's read-ahead run grows evenly (the paper's "two runs of
@@ -116,7 +157,76 @@ class ReadAheadScheduler:
             OBS.counter("scheduler.demand_blocks").inc(len(served))
             OBS.counter("scheduler.readahead_blocks").inc(len(offsets) - len(served))
             OBS.gauge("scheduler.queue_depth").set(len(self._waiting))
-            OBS.histogram("scheduler.step_occupancy").record(len(offsets))
-        self.device.serve_step(offsets)
+            OBS.histogram("scheduler.step_occupancy").record(
+                len(offsets) + len(hedged_offsets)
+            )
+        self.device.serve_step(offsets + hedged_offsets)
         self.steps += 1
+        if extra_steps:
+            self.device.stall(extra_steps)
+            if OBS.enabled:
+                OBS.histogram("scheduler.stall_steps").record(extra_steps)
         return fetched
+
+    def _inject_stalls(
+        self, served: list[tuple[Hashable, int]], spare: int
+    ) -> tuple[int, list[int], int]:
+        """Draw this step's channel stalls; hedge stalled demands onto spares.
+
+        Demands occupy channels ``0..len(served)-1`` in submission order.
+        Every channel's stall is drawn every step (one ``random(P)`` call
+        plus one ``integers`` call for the stalled subset), so the RNG
+        stream position depends only on the step count — not on demand
+        count or policy — keeping policies comparable under identical
+        fault sequences.  Returns ``(extra_steps, duplicate_offsets,
+        remaining_spare)``: the step runs ``extra_steps`` long, the
+        duplicates are presented to :meth:`PDAMDevice.serve_step` so slot
+        accounting is honest, and read-ahead expansion gets whatever spare
+        slots hedging left.
+        """
+        plan = self.fault_plan
+        assert plan is not None and self._fault_rng is not None
+        P = self.device.parallelism
+        draws = self._fault_rng.random(P)
+        stalled = draws < plan.stall_prob
+        stall_len = np.zeros(P, dtype=np.int64)
+        n_stalled = int(np.count_nonzero(stalled))
+        if n_stalled:
+            stall_len[stalled] = self._fault_rng.integers(
+                1, plan.stall_steps + 1, size=n_stalled
+            )
+            self.fault_stats.stalls_injected += n_stalled
+            if OBS.enabled:
+                OBS.counter("faults.injected").inc(n_stalled)
+                OBS.counter("faults.channel_stalls").inc(n_stalled)
+        effective = [int(stall_len[i]) for i in range(len(served))]
+        hedged_offsets: list[int] = []
+        if self.policy.hedge_enabled and spare > 0 and n_stalled:
+            step_s = self.device.model.step_seconds
+            deadline = self.policy.hedge_deadline_seconds
+            # Worst-stalled demands hedge first; each takes one spare slot
+            # (channel len(served)..P-1), whose own stall was drawn above.
+            candidates = sorted(
+                (i for i in range(len(served)) if (1 + effective[i]) * step_s > deadline),
+                key=effective.__getitem__,
+                reverse=True,
+            )
+            spare_channels = iter(range(len(served), P))
+            B = self.device.block_bytes
+            for i in candidates:
+                if spare <= 0:
+                    break
+                j = next(spare_channels)
+                dup_stall = int(stall_len[j])
+                self.fault_stats.hedges_issued += 1
+                if OBS.enabled:
+                    OBS.counter("io.hedges_issued").inc()
+                if dup_stall < effective[i]:
+                    effective[i] = dup_stall
+                    self.fault_stats.hedge_wins += 1
+                    if OBS.enabled:
+                        OBS.counter("io.hedge_wins").inc()
+                hedged_offsets.append(served[i][1] * B)
+                spare -= 1
+        extra_steps = max(effective, default=0)
+        return extra_steps, hedged_offsets, spare

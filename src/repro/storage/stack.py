@@ -13,12 +13,15 @@ device time charged so far, in both directions.
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable
 
 from repro.errors import ConfigurationError
 from repro.storage.allocator import ExtentAllocator
 from repro.storage.cache import BufferCache
 from repro.storage.device import BlockDevice
+
+if TYPE_CHECKING:  # pragma: no cover - imported lazily to stay layered
+    from repro.faults.policy import ResiliencePolicy
 
 
 class StorageStack:
@@ -32,6 +35,13 @@ class StorageStack:
         The memory budget ``M``.
     allocator_policy:
         ``"first_fit"`` (fresh file system) or ``"random"`` (aged).
+    resilience:
+        Optional :class:`~repro.faults.policy.ResiliencePolicy`.  Attached
+        to the device's fault layer: a
+        :class:`~repro.faults.device.FaultyDevice` adopts it directly; a
+        bare device is wrapped in a zero-fault ``FaultyDevice`` so the
+        policy still applies if faults are enabled later (a zero plan
+        changes no timings).  ``None`` (default) touches nothing.
     """
 
     def __init__(
@@ -42,9 +52,17 @@ class StorageStack:
         allocator_policy: str = "first_fit",
         allocator_seed: int = 0,
         alignment: int = 512,
+        resilience: "ResiliencePolicy | None" = None,
     ) -> None:
         if cache_bytes <= 0:
             raise ConfigurationError(f"cache_bytes must be positive, got {cache_bytes}")
+        if resilience is not None:
+            from repro.faults import FaultPlan, FaultyDevice
+
+            if isinstance(device, FaultyDevice):
+                device.policy = resilience
+            else:
+                device = FaultyDevice(device, FaultPlan(), policy=resilience)
         self.device = device
         self.allocator = ExtentAllocator(
             device.capacity_bytes,

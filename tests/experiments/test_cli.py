@@ -11,7 +11,7 @@ class TestCLI:
             "fig1", "table2", "table3", "fig2", "fig3",
             "lemma13", "writeamp", "theorem9", "optima", "lsm",
             "epsilon", "aging", "asymmetry", "ycsb", "modelerr",
-            "autotune",
+            "autotune", "tailres",
         }
 
     def test_list_prints_names_and_exits_zero(self, capsys):
@@ -60,3 +60,30 @@ class TestRunnerFlags:
         out = capsys.readouterr().out
         assert "cumulative" in out
         assert "Corollaries" in out
+
+
+class TestFaultFlags:
+    def test_tailres_quick_smoke(self, capsys):
+        assert main(["tailres", "--quick", "--no-cache", "--policy", "hedge"]) == 0
+        out = capsys.readouterr().out
+        assert "E18a" in out and "E18b" in out
+        # --policy hedge restricted the sweep: no data row runs "retry".
+        rows = [l for l in out.splitlines() if l.startswith(("btree", "betree"))]
+        assert rows and all("retry" not in l for l in rows)
+
+    def test_tailres_custom_plan_file(self, capsys, tmp_path):
+        from repro.faults import FaultPlan
+
+        plan = tmp_path / "plan.json"
+        plan.write_text(FaultPlan(seed=1, stall_prob=0.2, stall_steps=3).to_json())
+        assert main(
+            ["tailres", "--quick", "--no-cache", "--policy", "none",
+             "--faults", str(plan)]
+        ) == 0
+        out = capsys.readouterr().out
+        # Spike/error-free plan: the tree table reports clean latencies.
+        assert "E18b" in out
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tailres", "--policy", "yolo"])

@@ -1,0 +1,124 @@
+"""FaultPlan / DegradedPhase validation, scaling, and serialization."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import PLAN_SCHEMA, DegradedPhase, FaultPlan
+
+
+class TestDegradedPhase:
+    def test_half_open_interval(self):
+        p = DegradedPhase(1.0, 2.0, 3.0)
+        assert not p.active_at(0.5)
+        assert p.active_at(1.0)
+        assert p.active_at(1.999)
+        assert not p.active_at(2.0)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DegradedPhase(2.0, 1.0, 3.0)
+        with pytest.raises(ConfigurationError):
+            DegradedPhase(-1.0, 1.0, 3.0)
+        with pytest.raises(ConfigurationError):
+            DegradedPhase(1.0, 1.0, 3.0)
+
+    def test_speedup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DegradedPhase(0.0, 1.0, 0.5)
+
+
+class TestFaultPlanValidation:
+    def test_default_plan_injects_nothing(self):
+        assert not FaultPlan().injects_anything
+
+    def test_probabilities_bounded(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(spike_prob=1.5, spike_seconds=1.0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(error_prob=-0.1)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(stall_prob=2.0)
+
+    def test_spike_prob_needs_scale(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(spike_prob=0.1)
+
+    def test_stall_steps_positive(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(stall_steps=0)
+
+    def test_degraded_entries_typed(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(degraded=({"start_seconds": 0, "end_seconds": 1, "slowdown": 2},))
+
+
+class TestSlowdown:
+    def test_phases_multiply(self):
+        plan = FaultPlan(
+            degraded=(DegradedPhase(0.0, 10.0, 2.0), DegradedPhase(5.0, 15.0, 3.0))
+        )
+        assert plan.slowdown_at(1.0) == 2.0
+        assert plan.slowdown_at(7.0) == 6.0
+        assert plan.slowdown_at(12.0) == 3.0
+        assert plan.slowdown_at(20.0) == 1.0
+
+
+class TestScaled:
+    def test_zero_intensity_injects_nothing(self):
+        plan = FaultPlan(spike_prob=0.5, spike_seconds=1.0, error_prob=0.2, stall_prob=0.3)
+        assert not plan.scaled(0.0).injects_anything
+
+    def test_probabilities_scale_and_clamp(self):
+        plan = FaultPlan(spike_prob=0.4, spike_seconds=1.0, error_prob=0.6)
+        doubled = plan.scaled(2.0)
+        assert doubled.spike_prob == pytest.approx(0.8)
+        assert doubled.error_prob == 1.0  # clamped
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan().scaled(-1.0)
+
+    def test_seed_and_shape_preserved(self):
+        plan = FaultPlan(seed=9, spike_prob=0.1, spike_seconds=2.0, spike_alpha=1.1)
+        half = plan.scaled(0.5)
+        assert half.seed == 9
+        assert half.spike_seconds == 2.0
+        assert half.spike_alpha == 1.1
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        plan = FaultPlan(
+            seed=3,
+            spike_prob=0.05,
+            spike_seconds=0.02,
+            error_prob=0.01,
+            degraded=(DegradedPhase(1.0, 2.0, 4.0),),
+            stall_prob=0.1,
+            stall_steps=5,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_schema_tag_present_and_checked(self):
+        text = FaultPlan().to_json()
+        assert PLAN_SCHEMA in text
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_json(text.replace(PLAN_SCHEMA, "bogus/v9"))
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_json('{"seed": 1, "surprise": true}')
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_json("{not json")
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_json("[1, 2]")
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        plan = FaultPlan(seed=7, error_prob=0.5)
+        path.write_text(plan.to_json())
+        assert FaultPlan.from_file(path) == plan
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_file(tmp_path / "missing.json")

@@ -143,3 +143,161 @@ class TestResultCache:
         fp = fingerprint("k", {"x": 3})
         cache.put(fp, "v")
         assert (tmp_path / fp[:2] / f"{fp}.pkl").exists()
+
+
+class TestQuarantine:
+    """Corrupt cache entries become misses AND leave the lookup path."""
+
+    def _corrupt(self, tmp_path, payload: bytes):
+        cache = ResultCache(tmp_path)
+        fp = fingerprint("k", {"x": 9})
+        cache.put(fp, {"fine": True})
+        cache._path(fp).write_bytes(payload)
+        return cache, fp
+
+    def test_garbage_bytes_quarantined(self, tmp_path):
+        cache, fp = self._corrupt(tmp_path, b"\x00garbage, definitely not pickle")
+        assert ResultCache.is_miss(cache.get(fp))
+        assert cache.quarantined == 1
+        assert not cache._path(fp).exists()
+        qfile = tmp_path / ResultCache.QUARANTINE_DIR / f"{fp}.pkl"
+        assert qfile.exists()
+
+    def test_truncated_pickle_quarantined(self, tmp_path):
+        import pickle
+
+        blob = pickle.dumps({"big": list(range(1000))})
+        cache, fp = self._corrupt(tmp_path, blob[: len(blob) // 2])
+        assert ResultCache.is_miss(cache.get(fp))
+        assert cache.quarantined == 1
+
+    def test_stale_class_layout_quarantined(self, tmp_path):
+        # A pickle referencing a module that no longer exists: unpickling
+        # raises ModuleNotFoundError, not UnpicklingError.  Still a miss.
+        cache, fp = self._corrupt(
+            tmp_path, b"cdefinitely_not_a_module\nGoneClass\n."
+        )
+        assert ResultCache.is_miss(cache.get(fp))
+        assert cache.quarantined == 1
+
+    def test_absent_file_is_not_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert ResultCache.is_miss(cache.get("ab" + "0" * 62))
+        assert cache.quarantined == 0
+
+    def test_recompute_after_quarantine(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec([7])
+        run_sweep(spec, cache=cache)
+        fp = spec.points[0].fingerprint()
+        cache._path(fp).write_bytes(b"rot")
+        assert run_sweep(spec, cache=cache) == [49]  # recomputed
+        assert run_sweep(spec, cache=cache) == [49]  # and re-cached
+        assert cache.quarantined == 1
+
+
+# Raises while ``marker`` exists; succeeds after it is removed.  Models a
+# kernel bug fixed between runs (the resume-from-partial-progress story).
+@register("test_explodes_while_marker")
+def _explodes_while_marker(*, x: int, marker: str) -> int:
+    import os
+
+    if x == 2 and os.path.exists(marker):
+        raise RuntimeError(f"kaboom on x={x}")
+    return x * 10
+
+
+def _marker_spec(marker, xs=(0, 1, 2, 3)):
+    return SweepSpec.make(
+        "explosive",
+        [
+            SweepPoint.make("test_explodes_while_marker", x=x, marker=str(marker))
+            for x in xs
+        ],
+    )
+
+
+class TestErrorIsolation:
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep(_spec([1]), on_error="explode")
+
+    def test_raise_is_the_default(self, tmp_path):
+        marker = tmp_path / "broken"
+        marker.touch()
+        with pytest.raises(RuntimeError, match="kaboom"):
+            run_sweep(_marker_spec(marker))
+
+    def test_isolate_yields_point_error_in_slot(self, tmp_path):
+        from repro.runner import PointError
+
+        marker = tmp_path / "broken"
+        marker.touch()
+        results = run_sweep(_marker_spec(marker), on_error="isolate")
+        assert results[0] == 0 and results[1] == 10 and results[3] == 30
+        err = results[2]
+        assert isinstance(err, PointError)
+        assert err.kernel == "test_explodes_while_marker"
+        assert err.error_type == "RuntimeError"
+        assert "kaboom on x=2" in err.message
+        assert "RuntimeError" in err.traceback
+        assert "kaboom" in str(err)
+
+    def test_isolate_parallel(self, tmp_path):
+        from repro.runner import PointError
+
+        marker = tmp_path / "broken"
+        marker.touch()
+        results = run_sweep(_marker_spec(marker), jobs=3, on_error="isolate")
+        assert [r for r in results if not isinstance(r, PointError)] == [0, 10, 30]
+        assert isinstance(results[2], PointError)
+
+    def test_point_errors_never_cached(self, tmp_path):
+        marker = tmp_path / "broken"
+        marker.touch()
+        cache = ResultCache(tmp_path / "cache")
+        spec = _marker_spec(marker)
+        report = SweepReport(spec_name="", n_points=0)
+        run_sweep(spec, cache=cache, on_error="isolate", report=report)
+        assert report.n_errors == 1
+        assert "1 errors" in report.summary()
+        assert ResultCache.is_miss(cache.get(spec.points[2].fingerprint()))
+        # Kernel fixed: the failed point recomputes, the rest are hits.
+        marker.unlink()
+        report2 = SweepReport(spec_name="", n_points=0)
+        results = run_sweep(spec, cache=cache, on_error="isolate", report=report2)
+        assert results == [0, 10, 20, 30]
+        assert report2.n_cached == 3 and report2.n_computed == 1
+        assert report2.n_errors == 0
+
+
+class TestIncrementalCaching:
+    def test_interrupted_sweep_resumes_from_completed_points(self, tmp_path):
+        """ISSUE satellite: kill after point k; re-run hits cache for 0..k."""
+        marker = tmp_path / "broken"
+        marker.touch()
+        cache = ResultCache(tmp_path / "cache")
+        spec = _marker_spec(marker)
+        with pytest.raises(RuntimeError):
+            run_sweep(spec, cache=cache)  # dies at point index 2
+        # Points 0 and 1 completed before the crash and are already cached.
+        for i in (0, 1):
+            assert not ResultCache.is_miss(cache.get(spec.points[i].fingerprint()))
+        marker.unlink()
+        report = SweepReport(spec_name="", n_points=0)
+        assert run_sweep(spec, cache=cache, report=report) == [0, 10, 20, 30]
+        assert report.n_cached == 2 and report.n_computed == 2
+
+    def test_parallel_interrupt_caches_completed_points(self, tmp_path):
+        marker = tmp_path / "broken"
+        marker.touch()
+        cache = ResultCache(tmp_path / "cache")
+        spec = _marker_spec(marker, xs=(0, 1, 2, 3, 4, 5))
+        with pytest.raises(RuntimeError):
+            run_sweep(spec, cache=cache, jobs=2)
+        marker.unlink()
+        report = SweepReport(spec_name="", n_points=0)
+        assert run_sweep(spec, cache=cache, report=report) == [0, 10, 20, 30, 40, 50]
+        # At least the points that beat the crash to the pool came back
+        # cached; exact count depends on scheduling.
+        assert report.n_cached >= 1

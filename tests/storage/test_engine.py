@@ -160,3 +160,147 @@ class TestSingleServerFastPath:
         runner = ClosedLoopRunner(lambda req, at: at - 1.0, single_server=True)
         with pytest.raises(ConfigurationError):
             runner.run([[1]])
+
+
+class TestValueErrorContract:
+    """ISSUE satellite: nonsense construction raises ValueError.
+
+    ConfigurationError and InvalidIOError are ValueError subclasses, so
+    both the package-specific excepts and plain ``except ValueError``
+    callers work.
+    """
+
+    def test_error_hierarchy(self):
+        from repro.errors import ConfigurationError, InvalidIOError
+
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(InvalidIOError, ValueError)
+
+    def test_resource_negative_duration_is_valueerror(self):
+        with pytest.raises(ValueError):
+            Resource().acquire(0.0, -0.5)
+
+    def test_resource_pool_nonpositive_count_is_valueerror(self):
+        with pytest.raises(ValueError):
+            ResourcePool(0)
+        with pytest.raises(ValueError):
+            ResourcePool(-3)
+
+    def test_iosampler_nonpositive_capacity_is_valueerror(self):
+        from repro.storage.device import IOSampler
+
+        with pytest.raises(ValueError):
+            IOSampler(0)
+        with pytest.raises(ValueError):
+            IOSampler(-1)
+
+
+class TestRunnerEdgeCases:
+    """ISSUE satellite: ClosedLoopRunner corner cases."""
+
+    def test_stream_exception_propagates_with_clock_intact(self):
+        r = Resource()
+
+        def stream():
+            yield 1.0
+            yield 2.0
+            raise RuntimeError("generator died")
+
+        runner = ClosedLoopRunner(lambda req, at: r.acquire(at, req))
+        with pytest.raises(RuntimeError, match="generator died"):
+            runner.run([stream()])
+        # Both requests served before the crash stay charged.
+        assert r.available_at == 3.0
+        assert r.busy_seconds == 3.0
+
+    def test_stream_exception_in_heap_path(self):
+        r = Resource()
+
+        def bad():
+            yield 1.0
+            raise RuntimeError("client 0 died")
+
+        runner = ClosedLoopRunner(lambda req, at: r.acquire(at, req))
+        with pytest.raises(RuntimeError, match="client 0 died"):
+            runner.run([bad(), iter([1.0, 1.0, 1.0])])
+        assert r.busy_seconds > 0.0
+
+    def test_single_server_vs_heap_mixed_workload(self):
+        streams = [[0.1, 5.0, 0.1], [1.0, 1.0, 1.0, 1.0], [2.5], [0.01] * 8]
+        results = []
+        for single_server in (False, True):
+            r = Resource()
+            runner = ClosedLoopRunner(
+                lambda req, at, r=r: r.acquire(at, req), single_server=single_server
+            )
+            results.append(runner.run([list(s) for s in streams]))
+        assert results[0] == results[1]
+
+
+class TestRunnerResilience:
+    """ClosedLoopRunner with a ResiliencePolicy: retry and hedged service."""
+
+    def test_retry_recovers_flaky_service(self):
+        from repro.errors import TransientIOError
+        from repro.faults import ResiliencePolicy
+
+        r = Resource()
+        calls = {"n": 0}
+
+        def service(req, at):
+            calls["n"] += 1
+            if calls["n"] % 3 == 1:
+                raise TransientIOError("flaky")
+            return r.acquire(at, req)
+
+        runner = ClosedLoopRunner(
+            service,
+            policy=ResiliencePolicy.retry(max_retries=4, backoff_seconds=0.5),
+        )
+        finish = runner.run([[1.0, 1.0]])
+        assert runner.retries > 0
+        assert finish[0] > 2.0  # backoff waits are simulated time
+
+    def test_retry_exhaustion_propagates(self):
+        from repro.errors import TransientIOError
+        from repro.faults import ResiliencePolicy
+
+        def service(req, at):
+            raise TransientIOError("always down")
+
+        runner = ClosedLoopRunner(
+            service, policy=ResiliencePolicy.retry(max_retries=2, backoff_seconds=0.1)
+        )
+        with pytest.raises(TransientIOError):
+            runner.run([[1.0]])
+        assert runner.retries == 2
+
+    def test_hedged_duplicate_wins(self):
+        from repro.faults import ResiliencePolicy
+
+        pool = ResourcePool(2)
+        pool[0].acquire(0.0, 100.0)  # primary path starts deeply backlogged
+        calls = {"n": 0}
+
+        def service(req, at):
+            i = min(calls["n"], 1)
+            calls["n"] += 1
+            return pool[i].acquire(at, req)
+
+        runner = ClosedLoopRunner(service, policy=ResiliencePolicy.hedged(1.0))
+        finish = runner.run([[2.0]])
+        # Primary would complete at 102; the duplicate issued at the 1.0s
+        # deadline on the idle resource completes at 3.0 and wins.
+        assert finish == [3.0]
+        assert runner.hedges_issued == 1
+        assert runner.hedge_wins == 1
+
+    def test_noop_policy_skips_wrapper(self):
+        from repro.faults import ResiliencePolicy
+
+        r = Resource()
+        runner = ClosedLoopRunner(
+            lambda req, at: r.acquire(at, req), policy=ResiliencePolicy.none()
+        )
+        assert runner._policy is None
+        assert runner.run([[1.0, 1.0]]) == [2.0]

@@ -90,3 +90,35 @@ class TestDropCacheStats:
         stack.drop_cache(reset_stats=True)
         assert stack.cache.stats.hits == 0
         assert stack.cache.stats.accesses == 0
+
+
+class TestStackResilience:
+    def test_bare_device_gets_wrapped(self):
+        from repro.faults import FaultyDevice, ResiliencePolicy
+        from repro.storage.ram import NullDevice
+
+        stack = StorageStack(
+            NullDevice(), cache_bytes=1 << 20, resilience=ResiliencePolicy.retry()
+        )
+        assert isinstance(stack.device, FaultyDevice)
+        assert stack.device.policy.name == "retry"
+        assert not stack.device.plan.injects_anything  # zero plan
+
+    def test_existing_faulty_device_adopts_policy(self):
+        from repro.faults import FaultPlan, FaultyDevice, ResiliencePolicy
+        from repro.storage.ram import NullDevice
+
+        dev = FaultyDevice(NullDevice(), FaultPlan(seed=2, error_prob=0.5))
+        stack = StorageStack(
+            dev, cache_bytes=1 << 20, resilience=ResiliencePolicy.hedged(1e-3)
+        )
+        assert stack.device is dev  # not re-wrapped
+        assert dev.policy.hedge_enabled
+        assert dev.plan.error_prob == 0.5  # plan untouched
+
+    def test_no_resilience_touches_nothing(self):
+        from repro.storage.ram import NullDevice
+
+        dev = NullDevice()
+        stack = StorageStack(dev, cache_bytes=1 << 20)
+        assert stack.device is dev
