@@ -1,12 +1,16 @@
 # Convenience targets; see README.md.
 
-.PHONY: install test bench experiments examples all
+.PHONY: install test lint bench experiments examples all
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+# The CI lint gate: static determinism & invariant checks (docs/lint.md).
+lint:
+	PYTHONPATH=src python -m repro.lint src/
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -21,4 +25,4 @@ examples:
 	python examples/aging_range_queries.py
 	python examples/io_trace_analysis.py
 
-all: test bench experiments
+all: lint test bench experiments

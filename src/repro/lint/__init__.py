@@ -1,0 +1,61 @@
+"""repro.lint — AST-based determinism & invariant linter for this repo.
+
+The paper's reproductions are only trustworthy because simulated results
+are *bit-identical* across ``jobs=`` counts, with observability on or
+off, and under zero fault plans.  Those invariants are enforced
+dynamically by exact-equality golden tests — slow, and only after the
+fact.  This package enforces them *statically*, at review time, with a
+stdlib-:mod:`ast` rule engine (no third-party dependencies):
+
+========  ==============================================================
+Rule      Invariant
+========  ==============================================================
+DET001    No wall-clock or global-RNG calls in simulation code.
+DET002    No iteration over unordered collections (sets, directory
+          listings) where order reaches results, without ``sorted()``.
+OBS001    Every ``OBS.`` recording call sits under ``if OBS.enabled:``
+          (the <5% disabled-overhead gate depends on it).
+PURE001   Registered sweep kernels are pure: no global/nonlocal writes,
+          no closing over module-level open handles.
+ERR001    No blind ``except Exception`` that swallows silently — must
+          re-raise, log, or record an obs counter.
+VAL001    Public constructors validate capacity/count/duration params
+          (the PR-4 ``ValueError`` contracts).
+========  ==============================================================
+
+Findings are suppressible per line with ``# repro-lint: ignore[RULE]``;
+rule/paths exemptions live in :mod:`repro.lint.config`.  Run it as::
+
+    python -m repro.lint src/ [--select A,B] [--ignore C] [--jobs N] [--format json]
+
+Rule catalog, suppression syntax and the how-to-add-a-rule guide:
+docs/lint.md.
+"""
+
+from repro.lint.config import DEFAULT_EXEMPTIONS, LintConfig
+from repro.lint.engine import (
+    JSON_SCHEMA_VERSION,
+    Finding,
+    LintReport,
+    collect_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.rules import RULE_REGISTRY, Rule, all_rules, register_rule
+
+__all__ = [
+    "DEFAULT_EXEMPTIONS",
+    "Finding",
+    "JSON_SCHEMA_VERSION",
+    "LintConfig",
+    "LintReport",
+    "RULE_REGISTRY",
+    "Rule",
+    "all_rules",
+    "collect_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+]

@@ -1,0 +1,109 @@
+"""Small AST helpers shared by the engine and the rules.
+
+Everything here is pure syntax analysis: no imports are executed, no
+types are inferred.  Rules that need "what does this name mean" answer
+it through the per-module import map built by the engine's fact scan.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+#: Attribute set on every visited node pointing at its parent (engine walk).
+PARENT_ATTR = "_repro_lint_parent"
+
+
+def raw_dotted(node: ast.AST) -> str | None:
+    """The dotted source text of a Name/Attribute chain, else ``None``.
+
+    ``np.random.randint`` -> ``"np.random.randint"``; chains rooted in a
+    call or subscript (``super().__init__``) have no stable dotted form.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def resolve_dotted(dotted: str | None, imports: dict[str, str]) -> str | None:
+    """Rewrite the chain's first segment through the module's import map.
+
+    With ``import numpy as np``, ``"np.random.randint"`` resolves to
+    ``"numpy.random.randint"``; with ``from time import perf_counter``,
+    ``"perf_counter"`` resolves to ``"time.perf_counter"``.  Unknown
+    first segments resolve to themselves (local names stay local).
+    """
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    origin = imports.get(head, head)
+    return f"{origin}.{rest}" if rest else origin
+
+
+def parent(node: ast.AST) -> ast.AST | None:
+    """The node's parent in the engine walk (``None`` at the module root)."""
+    return getattr(node, PARENT_ATTR, None)
+
+
+def ancestors(node: ast.AST) -> Iterator[tuple[ast.AST, ast.AST]]:
+    """Yield ``(ancestor, child-on-the-path)`` pairs walking to the root."""
+    child = node
+    up = parent(node)
+    while up is not None:
+        yield up, child
+        child = up
+        up = parent(up)
+
+
+def enclosing_function(node: ast.AST) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    """The innermost function the node sits in, if any."""
+    for anc, _ in ancestors(node):
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return anc
+    return None
+
+
+def node_in_field(container: ast.AST, child: ast.AST, field: str) -> bool:
+    """Whether ``child`` hangs (directly) off ``container.<field>``."""
+    value = getattr(container, field, None)
+    if isinstance(value, list):
+        return child in value
+    return value is child
+
+
+def call_name(node: ast.Call, imports: dict[str, str]) -> str | None:
+    """Resolved dotted name of a call's target, else ``None``."""
+    return resolve_dotted(raw_dotted(node.func), imports)
+
+
+def local_bindings(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Every name the function binds locally (args, assigns, loops, ...).
+
+    Over-approximates by including bindings from nested scopes — fine
+    for PURE001, which only uses this to tell local writes from writes
+    that escape the function.
+    """
+    names: set[str] = set()
+    a = fn.args
+    for arg in (*a.posonlyargs, *a.args, *a.kwonlyargs):
+        names.add(arg.arg)
+    if a.vararg:
+        names.add(a.vararg.arg)
+    if a.kwarg:
+        names.add(a.kwarg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            names.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node is not fn:
+                names.add(node.name)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+        elif isinstance(node, ast.alias):
+            names.add(node.asname or node.name.split(".")[0])
+    return names

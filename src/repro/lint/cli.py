@@ -1,0 +1,120 @@
+"""``python -m repro.lint`` — the CI gate entry point.
+
+Exit codes: 0 clean, 1 unsuppressed findings (or unparsable files),
+2 usage errors.  Text output is one ``path:line:col: CODE message`` per
+finding; ``--format json`` emits the ``repro.lint/v1`` payload
+documented in docs/lint.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import lint_paths
+from repro.lint.rules import all_rules
+
+
+def _codes(raw: str | None) -> frozenset[str]:
+    return frozenset(c.strip() for c in raw.split(",") if c.strip()) if raw else frozenset()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based determinism & invariant linter (see docs/lint.md)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="lint files in N forked workers (output is identical at any N)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print suppressed findings (never fail the gate)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for code, cls in sorted(all_rules().items()):
+            print(f"{code}  {cls.summary}")
+        return 0
+
+    if args.jobs < 0:
+        print("error: --jobs must be >= 0", file=sys.stderr)
+        return 2
+
+    select = _codes(args.select)
+    unknown = (select | _codes(args.ignore)) - set(all_rules())
+    if unknown:
+        print(
+            f"error: unknown rule code(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(all_rules()))})",
+            file=sys.stderr,
+        )
+        return 2
+
+    config = LintConfig(
+        select=select or None,
+        ignore=_codes(args.ignore),
+        show_suppressed=args.show_suppressed,
+    )
+    report = lint_paths(args.paths, config, jobs=args.jobs or 1)
+
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        counts = report.counts()
+        tally = (
+            ", ".join(f"{code}: {n}" for code, n in counts.items())
+            if counts
+            else "clean"
+        )
+        print(
+            f"repro.lint: {report.n_files} files, "
+            f"{len(report.failures)} findings ({tally})"
+        )
+    return 1 if report.failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,79 @@
+"""Lint configuration: rule selection and repo-level exemptions.
+
+The defaults below *are* the repo policy — the CI gate runs with them.
+Exemptions are deliberate and narrow: a rule is switched off only for
+the files whose job is the thing the rule forbids (the sweep runner and
+the tracer measure host wall time; the obs package implements the
+registry the guard rule protects).  Everything else must either comply
+or carry a visible ``# repro-lint: ignore[RULE]`` at the offending line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+#: Per-rule path fragments (POSIX style) where the rule does not apply.
+#: A fragment matches when it is a substring of the linted file's path —
+#: end a fragment with ``/`` to exempt a whole directory.
+DEFAULT_EXEMPTIONS: Mapping[str, tuple[str, ...]] = {
+    # Host wall-clock timing is these modules' purpose: the executor
+    # times sweep points, the tracer stamps wall spans, the experiments
+    # CLI prints elapsed wall time, and benchmarks measure the host.
+    "DET001": (
+        "repro/runner/executor.py",
+        "repro/obs/tracing.py",
+        "repro/experiments/cli.py",
+        "benchmarks/",
+    ),
+    # The obs package implements the registry; its internals are below
+    # the enabled-guard, not behind it.
+    "OBS001": ("repro/obs/",),
+}
+
+#: Decorator spellings that mark a function as a registered sweep kernel
+#: (PURE001's subjects).  Matched against the decorator's dotted source
+#: text after import-alias resolution.
+KERNEL_DECORATORS: tuple[str, ...] = (
+    "register",
+    "kernels.register",
+    "repro.runner.kernels.register",
+)
+
+#: Names an obs registry travels under (receiver of recording calls).
+OBS_REGISTRY_NAMES: tuple[str, ...] = ("OBS",)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Immutable (and picklable — ``--jobs`` forks) lint run settings."""
+
+    #: Only run these rule codes; ``None`` means all registered rules.
+    select: frozenset[str] | None = None
+    #: Never run these rule codes.
+    ignore: frozenset[str] = frozenset()
+    #: Per-rule path-fragment exemptions (see :data:`DEFAULT_EXEMPTIONS`).
+    exempt: Mapping[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_EXEMPTIONS)
+    )
+    #: Decorators marking sweep kernels (PURE001).
+    kernel_decorators: tuple[str, ...] = KERNEL_DECORATORS
+    #: Registry names whose recording calls OBS001 guards.
+    obs_registry_names: tuple[str, ...] = OBS_REGISTRY_NAMES
+    #: DET002: also treat ``.keys()`` iteration as unordered.  Off by
+    #: default — dicts preserve insertion order since Python 3.7, so the
+    #: common case is deterministic; enable for audit sweeps.
+    det002_flag_dict_keys: bool = False
+    #: Include suppressed findings in the report (still non-failing).
+    show_suppressed: bool = False
+
+    def rule_enabled(self, code: str) -> bool:
+        """Whether ``code`` survives ``--select`` / ``--ignore``."""
+        if code in self.ignore:
+            return False
+        return self.select is None or code in self.select
+
+    def is_exempt(self, code: str, path: str) -> bool:
+        """Whether ``path`` is policy-exempt from rule ``code``."""
+        posix = str(path).replace("\\", "/")
+        return any(frag in posix for frag in self.exempt.get(code, ()))

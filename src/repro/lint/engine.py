@@ -1,0 +1,329 @@
+"""The lint engine: per-file fact scan + one dispatch pass over the AST.
+
+Per file the engine does exactly two traversals:
+
+1. a **fact scan** that builds the :class:`ModuleContext` — import-alias
+   map, names bound from ``OBS.enabled``, module-level bindings and open
+   handles, kernel-decorated functions, suppression comments;
+2. the **dispatch pass**: a single walk that sets parent links and calls
+   every enabled rule's ``visit_<NodeType>`` hooks per node.
+
+Rules therefore share one walk instead of each re-walking the tree, and
+all their cross-cutting questions ("is this name the numpy module?",
+"was this flag assigned from ``OBS.enabled``?") are answered from the
+pre-computed facts.
+
+A file that cannot be parsed yields a single ``LINT000`` finding — a
+broken file must fail the gate, not silently skip it.
+"""
+
+from __future__ import annotations
+
+import ast
+import multiprocessing
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.lint.astutil import PARENT_ATTR, raw_dotted
+from repro.lint.config import LintConfig
+from repro.lint.rules import RULE_REGISTRY, Rule, hook_table
+
+#: Schema tag stamped into JSON output (bump on breaking format change).
+JSON_SCHEMA_VERSION = "repro.lint/v1"
+
+#: Pseudo-rule code for files the engine cannot parse.
+PARSE_ERROR_CODE = "LINT000"
+
+#: Marker meaning "suppress every rule on this line".
+_ALL = "*"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>ignore|skip-file)(?:\[(?P<codes>[^\]]*)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+
+    def render(self) -> str:
+        mark = "  (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}{mark}"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    n_files: int = 0
+
+    @property
+    def failures(self) -> list[Finding]:
+        """Findings that fail the gate (suppressed ones do not)."""
+        return [f for f in self.findings if not f.suppressed]
+
+    def counts(self) -> dict[str, int]:
+        """Unsuppressed finding count per rule code."""
+        out: dict[str, int] = {}
+        for f in self.failures:
+            out[f.code] = out.get(f.code, 0) + 1
+        return dict(sorted(out.items()))
+
+    def to_json(self) -> dict[str, Any]:
+        """The ``repro.lint/v1`` JSON payload (see docs/lint.md)."""
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "n_files": self.n_files,
+            "n_findings": len(self.failures),
+            "counts": self.counts(),
+            "findings": [
+                {
+                    "code": f.code,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                    "suppressed": f.suppressed,
+                }
+                for f in self.findings
+            ],
+        }
+
+
+class ModuleContext:
+    """Per-file facts and the findings sink rules report into."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module, config: LintConfig):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.config = config
+        self.findings: list[Finding] = []
+        #: local name -> dotted origin (``np`` -> ``numpy``,
+        #: ``perf_counter`` -> ``time.perf_counter``).
+        self.imports: dict[str, str] = {}
+        #: names assigned (anywhere in the file) from ``OBS.enabled``.
+        self.enabled_aliases: set[str] = set()
+        #: names bound at module top level.
+        self.module_names: set[str] = set()
+        #: module-level names bound to ``open(...)`` results.
+        self.open_handle_names: set[str] = set()
+        #: ids of function nodes decorated as sweep kernels.
+        self.kernel_function_ids: set[int] = set()
+        #: line -> rule codes suppressed there (``{"*"}`` = all).
+        self.suppressions: dict[int, set[str]] = {}
+        self.skip_file = False
+        self._scan_suppressions()
+        self._scan_facts()
+
+    # -- fact scan ---------------------------------------------------------
+
+    def _scan_suppressions(self) -> None:
+        for lineno, line in enumerate(self.source.splitlines(), start=1):
+            m = _SUPPRESS_RE.search(line)
+            if not m:
+                continue
+            if m.group("kind") == "skip-file":
+                self.skip_file = True
+                continue
+            codes = m.group("codes")
+            tags = (
+                {c.strip() for c in codes.split(",") if c.strip()}
+                if codes
+                else {_ALL}
+            )
+            self.suppressions.setdefault(lineno, set()).update(tags)
+
+    def _scan_facts(self) -> None:
+        for node in self.tree.body:
+            for target in self._binding_targets(node):
+                self.module_names.add(target)
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                if (
+                    isinstance(value, ast.Call)
+                    and raw_dotted(value.func) in ("open", "io.open")
+                ):
+                    for target in self._binding_targets(node):
+                        self.open_handle_names.add(target)
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                for alias in node.names:
+                    origin = f"{base}.{alias.name}" if base else alias.name
+                    self.imports[alias.asname or alias.name] = origin
+            elif isinstance(node, ast.Assign):
+                if self._is_enabled_read(node.value):
+                    for t in node.targets:
+                        if isinstance(t, ast.Name):
+                            self.enabled_aliases.add(t.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if self._is_kernel(node):
+                    self.kernel_function_ids.add(id(node))
+
+    @staticmethod
+    def _binding_targets(node: ast.stmt) -> list[str]:
+        if isinstance(node, ast.Assign):
+            return [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            return [node.target.id]
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return [node.name]
+        return []
+
+    def _is_enabled_read(self, value: ast.AST) -> bool:
+        """Whether ``value`` reads the obs enabled flag (``OBS.enabled``)."""
+        if not (isinstance(value, ast.Attribute) and value.attr == "enabled"):
+            return False
+        owner = raw_dotted(value.value)
+        return owner is not None and (
+            owner in self.config.obs_registry_names
+            or owner.split(".")[-1] in self.config.obs_registry_names
+        )
+
+    def _is_kernel(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        for deco in fn.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            dotted = raw_dotted(target)
+            if dotted is None:
+                continue
+            resolved = self.imports.get(
+                dotted.split(".")[0], dotted.split(".")[0]
+            )
+            full = ".".join([resolved] + dotted.split(".")[1:])
+            if dotted in self.config.kernel_decorators or full in (
+                self.config.kernel_decorators
+            ):
+                return True
+        return False
+
+    # -- findings sink -----------------------------------------------------
+
+    def report(self, code: str, node: ast.AST, message: str) -> None:
+        """Record one finding, honouring exemptions and suppressions."""
+        if self.config.is_exempt(code, self.path):
+            return
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        tags = self.suppressions.get(line, ())
+        suppressed = _ALL in tags or code in tags
+        if suppressed and not self.config.show_suppressed:
+            return
+        self.findings.append(
+            Finding(code, self.path, line, col, message, suppressed=suppressed)
+        )
+
+
+class _Dispatcher:
+    """The single walk: parent links + per-node hook dispatch."""
+
+    def __init__(self, rules: Sequence[Rule], ctx: ModuleContext) -> None:
+        self.ctx = ctx
+        self.table: dict[str, list] = {}
+        for rule in rules:
+            for node_type, hooks in hook_table(rule).items():
+                self.table.setdefault(node_type, []).extend(hooks)
+
+    def walk(self, node: ast.AST) -> None:
+        for hook in self.table.get(type(node).__name__, ()):
+            hook(node, self.ctx)
+        for child in ast.iter_child_nodes(node):
+            setattr(child, PARENT_ATTR, node)
+            self.walk(child)
+
+
+def _active_rules(config: LintConfig) -> list[Rule]:
+    return [
+        cls(config)
+        for code, cls in RULE_REGISTRY.items()
+        if config.rule_enabled(code)
+    ]
+
+
+def lint_source(
+    source: str, path: str = "<string>", config: LintConfig | None = None
+) -> list[Finding]:
+    """Lint one source string; the unit every API below builds on."""
+    config = config or LintConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except (SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", 1) or 1
+        col = (getattr(exc, "offset", 1) or 1)
+        return [
+            Finding(PARSE_ERROR_CODE, path, line, col, f"file does not parse: {exc.msg if isinstance(exc, SyntaxError) else exc}")
+        ]
+    ctx = ModuleContext(path, source, tree, config)
+    if ctx.skip_file:
+        return []
+    rules = _active_rules(config)
+    for rule in rules:
+        rule.begin_module(ctx)
+    _Dispatcher(rules, ctx).walk(tree)
+    for rule in rules:
+        rule.end_module(ctx)
+    ctx.findings.sort(key=lambda f: (f.line, f.col, f.code))
+    return ctx.findings
+
+
+def lint_file(path: str | Path, config: LintConfig | None = None) -> list[Finding]:
+    """Lint one file on disk."""
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p), config)
+
+
+def collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.update(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            out.add(p)
+    return sorted(out)
+
+
+def _lint_one(payload: tuple[str, LintConfig]) -> list[Finding]:
+    path, config = payload
+    return lint_file(path, config)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    config: LintConfig | None = None,
+    *,
+    jobs: int = 1,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths``; deterministic ordering.
+
+    ``jobs > 1`` fans files over a fork pool (like the sweep runner);
+    results are concatenated in sorted-file order either way, so the
+    report is byte-identical at any job count.
+    """
+    config = config or LintConfig()
+    files = collect_files(paths)
+    report = LintReport(n_files=len(files))
+    payloads = [(str(p), config) for p in files]
+    if jobs > 1 and len(payloads) > 1:
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=min(jobs, len(payloads))) as pool:
+            per_file = pool.map(_lint_one, payloads)
+    else:
+        per_file = [_lint_one(p) for p in payloads]
+    for findings in per_file:
+        report.findings.extend(findings)
+    return report

@@ -1,0 +1,94 @@
+"""Rule base class and registry.
+
+A rule is a class with a unique ``code``, a one-line ``summary``, and
+``visit_<NodeType>`` hooks.  The engine instantiates every enabled rule
+once per file and walks the module AST **once**, dispatching each node
+to the hooks whose name matches — rules never re-walk the tree
+themselves (sub-walks *inside* a hook, e.g. over one function body, are
+fine and occasionally necessary).
+
+To add a rule: subclass :class:`Rule`, decorate with
+:func:`register_rule`, implement hooks that call
+``ctx.report(self.code, node, message)``, and import the module below so
+it self-registers.  Full walkthrough: docs/lint.md.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Type
+
+if TYPE_CHECKING:  # circular: engine imports rules for the registry
+    from repro.lint.config import LintConfig
+    from repro.lint.engine import ModuleContext
+
+
+class Rule:
+    """Base class: one invariant, one code, hooks on AST node types."""
+
+    #: Unique rule code, e.g. ``"DET001"`` (what suppressions name).
+    code: str = ""
+    #: One-line description shown by ``--list-rules`` and docs.
+    summary: str = ""
+
+    def __init__(self, config: "LintConfig") -> None:
+        self.config = config
+
+    def begin_module(self, ctx: "ModuleContext") -> None:
+        """Called once before the walk (reset per-file state here)."""
+
+    def end_module(self, ctx: "ModuleContext") -> None:
+        """Called once after the walk (emit deferred findings here)."""
+
+
+#: All registered rule classes, by code.
+RULE_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to :data:`RULE_REGISTRY`."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code!r}")
+    RULE_REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> dict[str, Type[Rule]]:
+    """Registered rules, by code (insertion order: module import order)."""
+    return dict(RULE_REGISTRY)
+
+
+def hook_table(rule: Rule) -> dict[str, list]:
+    """Map node-type name -> bound ``visit_*`` hooks for one rule."""
+    table: dict[str, list] = {}
+    for name in dir(rule):
+        if name.startswith("visit_"):
+            node_type = name[len("visit_") :]
+            if hasattr(ast, node_type):
+                table.setdefault(node_type, []).append(getattr(rule, name))
+    return table
+
+
+# Self-registration: importing the package loads the built-in rule set.
+from repro.lint.rules import (  # noqa: E402  (registry must exist first)
+    determinism,
+    errors,
+    obs,
+    purity,
+    validation,
+)
+
+__all__ = [
+    "RULE_REGISTRY",
+    "Rule",
+    "all_rules",
+    "determinism",
+    "errors",
+    "hook_table",
+    "obs",
+    "purity",
+    "register_rule",
+    "validation",
+]

@@ -1,0 +1,95 @@
+"""ERR001 — no blind ``except Exception`` that swallows silently.
+
+A broad handler is sometimes the right tool (the result cache must treat
+*any* unpickling failure as a miss), but a handler that neither
+re-raises, logs, nor records an obs counter erases the only evidence a
+fault ever happened — precisely what made the PR-4 quarantine path
+undiagnosable.  The rule accepts any one of:
+
+* a ``raise`` anywhere in the handler (bare or new exception);
+* a logging call (``logging.*``, ``log/logger/LOG.*`` levels,
+  ``warnings.warn``);
+* an obs recording call (shared detector with OBS001).
+
+Narrow handlers (``except OSError``) are out of scope: catching a named
+exception is a statement about *which* failure is expected, which is the
+documentation this rule exists to force.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.astutil import raw_dotted
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.lint.engine import ModuleContext
+from repro.lint.rules import Rule, register_rule
+from repro.lint.rules.obs import is_recording_call
+
+#: Exception names whose handlers are "blind" (catch ~everything).
+_BLIND = frozenset({"Exception", "BaseException"})
+
+#: Logger method names that count as "evidence was recorded".
+_LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "error", "exception", "critical", "log", "warn"}
+)
+
+#: Receiver names conventionally bound to loggers.
+_LOGGER_NAMES = frozenset({"log", "logger", "logging", "LOG", "LOGGER"})
+
+
+def _is_blind(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True  # bare `except:`
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for t in types:
+        dotted = raw_dotted(t)
+        if dotted is not None and dotted.split(".")[-1] in _BLIND:
+            return True
+    return False
+
+
+def _is_log_call(node: ast.Call) -> bool:
+    dotted = raw_dotted(node.func)
+    if dotted is None:
+        return False
+    parts = dotted.split(".")
+    if dotted == "warnings.warn":
+        return True
+    return len(parts) >= 2 and parts[-1] in _LOG_METHODS and (
+        parts[0] in _LOGGER_NAMES or parts[-2] in _LOGGER_NAMES
+    )
+
+
+@register_rule
+class SilentBlindExcept(Rule):
+    """ERR001: blind handlers must re-raise, log, or count the failure."""
+
+    code = "ERR001"
+    summary = (
+        "bare/`except Exception` handlers must re-raise, log, or record "
+        "an obs counter — silent swallowing erases fault evidence"
+    )
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler, ctx: ModuleContext) -> None:
+        if not _is_blind(node):
+            return
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Raise):
+                    return
+                if isinstance(sub, ast.Call) and (
+                    _is_log_call(sub) or is_recording_call(sub, ctx)
+                ):
+                    return
+        what = "bare `except:`" if node.type is None else "`except Exception`"
+        ctx.report(
+            self.code,
+            node,
+            f"{what} swallows silently — re-raise, log the failure, or "
+            "record an obs counter so the fault stays diagnosable",
+        )

@@ -1,0 +1,154 @@
+"""OBS001 — every obs recording call sits under an enabled-guard.
+
+The observability layer's contract (docs/observability.md) is that a
+disabled run pays **one boolean test per event** — that is what keeps
+the measured overhead under the 5% gate in ``BENCH_obs_overhead.json``
+and simulated results byte-identical with obs on or off.  The contract
+only holds if *call sites* check ``OBS.enabled`` before touching the
+registry: `OBS.counter("x").inc()` on an unguarded path still pays the
+dict lookup and object churn even when disabled.
+
+Recognised guards:
+
+* ``if OBS.enabled:`` (the call hangs off the ``body``, not ``orelse``);
+* ``if observe:`` where ``observe = OBS.enabled`` anywhere in the file
+  (the sweep executor's hoisted-flag pattern);
+* ``and``-conjunctions containing either of the above;
+* an early return ``if not OBS.enabled: return`` earlier in the same
+  function.
+
+Helpers that are *only called* under a guard (e.g. ``_obs_io``) are
+invisible to this per-site analysis — mark the call inside them with
+``# repro-lint: ignore[OBS001]`` and a comment naming the guard site.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.astutil import ancestors, enclosing_function, node_in_field, raw_dotted
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.lint.engine import ModuleContext
+from repro.lint.rules import Rule, register_rule
+
+#: Registry methods that record (everything else — enable/disable/
+#: reset/snapshot/render — is control plane, not per-event hot path).
+_RECORDING_METHODS = frozenset(
+    {"counter", "gauge", "histogram", "io_event", "op_event"}
+)
+
+#: Tracer methods that record.
+_TRACER_METHODS = frozenset({"record", "record_span", "span"})
+
+
+def _registry_owner(node: ast.AST, ctx: ModuleContext) -> bool:
+    """Whether ``node`` denotes the process-wide obs registry."""
+    dotted = raw_dotted(node)
+    if dotted is None:
+        return False
+    return (
+        dotted in ctx.config.obs_registry_names
+        or dotted.split(".")[-1] in ctx.config.obs_registry_names
+    )
+
+
+def is_recording_call(node: ast.Call, ctx: ModuleContext) -> bool:
+    """Whether this call records into the obs registry or its tracer.
+
+    Shared with ERR001, which accepts an obs counter as a legitimate way
+    for an ``except`` handler to avoid swallowing silently.
+    """
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    if func.attr in _RECORDING_METHODS and _registry_owner(func.value, ctx):
+        return True
+    if (
+        func.attr in _TRACER_METHODS
+        and isinstance(func.value, ast.Attribute)
+        and func.value.attr == "tracer"
+        and _registry_owner(func.value.value, ctx)
+    ):
+        return True
+    return False
+
+
+def _test_guards(test: ast.AST, ctx: ModuleContext) -> bool:
+    """Whether an ``if`` test guarantees obs is enabled when true."""
+    if isinstance(test, ast.Attribute) and test.attr == "enabled":
+        return _registry_owner(test.value, ctx)
+    if isinstance(test, ast.Name):
+        return test.id in ctx.enabled_aliases
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(_test_guards(v, ctx) for v in test.values)
+    return False
+
+
+def _test_rejects(test: ast.AST, ctx: ModuleContext) -> bool:
+    """Whether an ``if`` test is ``not <enabled>`` (early-return guard)."""
+    return (
+        isinstance(test, ast.UnaryOp)
+        and isinstance(test.op, ast.Not)
+        and _test_guards(test.operand, ctx)
+    )
+
+
+def _terminates(stmts: list[ast.stmt]) -> bool:
+    return bool(stmts) and isinstance(
+        stmts[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+@register_rule
+class UnguardedObsCall(Rule):
+    """OBS001: obs recording calls must sit under ``if OBS.enabled:``."""
+
+    code = "OBS001"
+    summary = (
+        "`OBS.` recording calls (counter/gauge/histogram/io_event/"
+        "op_event/tracer.record) must be guarded by `if OBS.enabled:` — "
+        "the <5% disabled-overhead gate depends on it"
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        if not is_recording_call(node, ctx):
+            return
+        if self._guarded_by_ancestor(node, ctx):
+            return
+        if self._guarded_by_early_return(node, ctx):
+            return
+        ctx.report(
+            self.code,
+            node,
+            "obs recording call outside an `if OBS.enabled:` guard "
+            "(guarded helpers: suppress with `# repro-lint: ignore[OBS001]` "
+            "and name the guard site)",
+        )
+
+    @staticmethod
+    def _guarded_by_ancestor(node: ast.Call, ctx: ModuleContext) -> bool:
+        for anc, child in ancestors(node):
+            if isinstance(anc, ast.If) and node_in_field(anc, child, "body"):
+                if _test_guards(anc.test, ctx):
+                    return True
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break  # guards outside the enclosing function don't count
+        return False
+
+    @staticmethod
+    def _guarded_by_early_return(node: ast.Call, ctx: ModuleContext) -> bool:
+        fn = enclosing_function(node)
+        if fn is None:
+            return False
+        lineno = getattr(node, "lineno", 0)
+        for stmt in ast.walk(fn):
+            if (
+                isinstance(stmt, ast.If)
+                and stmt.lineno < lineno
+                and _test_rejects(stmt.test, ctx)
+                and _terminates(stmt.body)
+            ):
+                return True
+        return False

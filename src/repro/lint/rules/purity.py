@@ -1,0 +1,99 @@
+"""PURE001 — registered sweep kernels must be pure.
+
+The sweep runner's whole determinism story (docs/runner.md) rests on
+kernels being pure functions of their keyword parameters: results are
+then bit-identical in any process, in any order, with or without the
+result cache.  Three statically checkable ways a kernel breaks that:
+
+* ``global``/``nonlocal`` declarations — the kernel writes state that
+  outlives the call, so fork-pool workers and in-process runs diverge;
+* stores through attributes/subscripts whose root name is not local —
+  ``STATE["x"] = ...`` mutates module state the fingerprint cannot see;
+* referencing a module-level name bound to ``open(...)`` — an open
+  handle captured at import time does not survive the fork-pool pickle
+  boundary and aliases file position across workers.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.astutil import local_bindings
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.lint.engine import ModuleContext
+from repro.lint.rules import Rule, register_rule
+
+
+@register_rule
+class ImpureKernel(Rule):
+    """PURE001: sweep kernels write no enclosing state, hold no handles."""
+
+    code = "PURE001"
+    summary = (
+        "functions registered as sweep kernels must not write globals/"
+        "nonlocals or close over open file handles (fork-pool purity)"
+    )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: ModuleContext) -> None:
+        self._check(node, ctx)
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef, ctx: ModuleContext
+    ) -> None:
+        self._check(node, ctx)
+
+    def _check(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef, ctx: ModuleContext
+    ) -> None:
+        if id(fn) not in ctx.kernel_function_ids:
+            return
+        locals_ = local_bindings(fn)
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                kind = "global" if isinstance(node, ast.Global) else "nonlocal"
+                ctx.report(
+                    self.code,
+                    node,
+                    f"kernel `{fn.name}` declares `{kind} "
+                    f"{', '.join(node.names)}` — kernels must be pure "
+                    "functions of their parameters",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    root = self._store_root(target)
+                    if root is not None and root not in locals_:
+                        ctx.report(
+                            self.code,
+                            node,
+                            f"kernel `{fn.name}` writes through non-local "
+                            f"name `{root}` — mutating enclosing state "
+                            "breaks fork-pool determinism",
+                        )
+            elif (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in ctx.open_handle_names
+            ):
+                ctx.report(
+                    self.code,
+                    node,
+                    f"kernel `{fn.name}` references module-level open "
+                    f"handle `{node.id}` — open files do not survive the "
+                    "fork-pool boundary; open inside the kernel",
+                )
+
+    @staticmethod
+    def _store_root(target: ast.AST) -> str | None:
+        """Root name of an attribute/subscript store (``a.b[0].c = ...``)."""
+        seen_deref = False
+        while isinstance(target, (ast.Attribute, ast.Subscript)):
+            seen_deref = True
+            target = target.value
+        if seen_deref and isinstance(target, ast.Name):
+            return target.id
+        return None

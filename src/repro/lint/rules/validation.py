@@ -1,0 +1,142 @@
+"""VAL001 — public constructors validate capacity/count/duration params.
+
+PR 4 established the contract: components reject impossible
+configurations at construction time with a ``ValueError`` (usually the
+:class:`~repro.errors.ConfigurationError` subclass), not ten stack
+frames later as a numpy broadcast error.  This rule keeps new
+constructors honest: every parameter whose *name* says it is a
+capacity, count, size or duration must show validation evidence inside
+``__init__``:
+
+* it appears in the test of an ``if`` whose body raises, or in an
+  ``assert``; or
+* it is forwarded to ``super().__init__`` / another class constructor /
+  a ``validate*``/``check*``/``require*`` helper (the callee owns the
+  contract then).
+
+Parameters defaulting to ``None`` are skipped (``None`` legitimately
+means "unlimited" and is validated only on the non-None branch, which
+is beyond static reach).  Dataclass field validation happens in
+``__post_init__`` and is out of scope — noted in docs/lint.md.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.lint.astutil import parent, raw_dotted
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.lint.engine import ModuleContext
+from repro.lint.rules import Rule, register_rule
+
+#: Parameter names that carry a capacity/count/size/duration contract.
+PARAM_PATTERN = re.compile(
+    r"(^capacity)|(_bytes$)|(_seconds$)|(_ms$)|(^n_)|(_count$)|(^count$)"
+    r"|(^max_)|(^parallelism$)|(^jobs$)|(^universe$)|(_budget$)|(_size$)"
+)
+
+_VALIDATOR_CALL = re.compile(r"^_?(validate|check|require|clamp)")
+
+
+def _param_names(fn: ast.FunctionDef) -> list[tuple[str, ast.expr | None]]:
+    """(name, default) pairs for every parameter after ``self``."""
+    a = fn.args
+    positional = [*a.posonlyargs, *a.args]
+    defaults: list[ast.expr | None] = [None] * (
+        len(positional) - len(a.defaults)
+    ) + list(a.defaults)
+    out = list(zip((p.arg for p in positional), defaults))
+    out.extend(zip((p.arg for p in a.kwonlyargs), a.kw_defaults))
+    return [(name, default) for name, default in out if name != "self"]
+
+
+def _mentions(node: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id == name for sub in ast.walk(node)
+    )
+
+
+def _is_delegating_call(node: ast.Call) -> bool:
+    """Calls that take over the validation contract for their arguments."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        if func.attr == "__init__":  # super().__init__(...)
+            return True
+        if _VALIDATOR_CALL.match(func.attr):
+            return True
+        dotted = raw_dotted(func)
+        if dotted is not None:
+            tail = dotted.split(".")[-1]
+            return bool(tail[:1].isupper())  # module.ClassName(...)
+        return False
+    if isinstance(func, ast.Name):
+        return bool(_VALIDATOR_CALL.match(func.id)) or func.id[:1].isupper()
+    return False
+
+
+@register_rule
+class UnvalidatedConstructorParam(Rule):
+    """VAL001: capacity/count/duration ctor params show validation."""
+
+    code = "VAL001"
+    summary = (
+        "public `__init__` parameters named like capacities/counts/"
+        "durations must be validated (raise-on-bad-value, assert, or "
+        "delegation to a constructor/validator)"
+    )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: ModuleContext) -> None:
+        if node.name != "__init__":
+            return
+        cls = parent(node)
+        if not isinstance(cls, ast.ClassDef) or cls.name.startswith("_"):
+            return
+        checked = self._evidenced_names(node)
+        for name, default in _param_names(node):
+            if not PARAM_PATTERN.search(name):
+                continue
+            if isinstance(default, ast.Constant) and default.value is None:
+                continue
+            if name not in checked:
+                ctx.report(
+                    self.code,
+                    node,
+                    f"`{cls.name}.__init__` parameter `{name}` is never "
+                    "validated — raise ConfigurationError on bad values "
+                    "(see the PR-4 ValueError contracts)",
+                )
+
+    @staticmethod
+    def _evidenced_names(fn: ast.FunctionDef) -> set[str]:
+        """Parameter names with validation evidence in the body."""
+        evidenced: set[str] = set()
+        raising_ifs = [
+            stmt
+            for stmt in ast.walk(fn)
+            if isinstance(stmt, ast.If)
+            and any(isinstance(s, ast.Raise) for s in ast.walk(stmt))
+        ]
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assert):
+                evidenced.update(
+                    sub.id
+                    for sub in ast.walk(node.test)
+                    if isinstance(sub, ast.Name)
+                )
+            elif isinstance(node, ast.Call) and _is_delegating_call(node):
+                for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                    evidenced.update(
+                        sub.id
+                        for sub in ast.walk(arg)
+                        if isinstance(sub, ast.Name)
+                    )
+        for stmt in raising_ifs:
+            evidenced.update(
+                sub.id
+                for sub in ast.walk(stmt.test)
+                if isinstance(sub, ast.Name)
+            )
+        return evidenced

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import pickle
 import tempfile
@@ -37,6 +38,9 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import ConfigurationError
+from repro.obs import OBS
+
+LOG = logging.getLogger("repro.runner.cache")
 
 #: Bump this (and only this) to invalidate every cached sweep result after
 #: a semantic change to simulators, workloads, or measurement protocol.
@@ -117,11 +121,21 @@ class ResultCache:
         try:
             with fh:
                 value = pickle.load(fh)
-        except Exception:
+        except Exception as exc:
             # Unpickling can fail in arbitrary ways (UnpicklingError,
             # EOFError on truncation, AttributeError/ModuleNotFoundError on
             # stale class layouts, ...).  All of them mean the same thing:
-            # this entry is unusable — quarantine it and recompute.
+            # this entry is unusable — quarantine it and recompute.  The
+            # entry key is logged (and counted) so quarantined results are
+            # diagnosable without digging through quarantine/ by hand.
+            LOG.warning(
+                "quarantining corrupt cache entry %s (%s: %s)",
+                fp,
+                type(exc).__name__,
+                exc,
+            )
+            if OBS.enabled:
+                OBS.counter("runner.cache.quarantined").inc()
             self._quarantine(path)
             self.misses += 1
             return _MISS

@@ -60,7 +60,10 @@ class PointError:
     traceback: str
 
     def __str__(self) -> str:
-        return f"PointError({self.kernel}: {self.error_type}: {self.message})"
+        return (
+            f"PointError({self.kernel}: {self.error_type}: {self.message} "
+            f"[fingerprint {self.fingerprint[:12]}])"
+        )
 
 
 @dataclass

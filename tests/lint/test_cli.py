@@ -1,0 +1,92 @@
+"""CLI contract: exit codes, JSON schema, rule listing."""
+
+import json
+
+from repro.lint import JSON_SCHEMA_VERSION, all_rules
+from repro.lint.cli import main
+
+BAD = "def f(items):\n    return list(set(items))\n"
+CLEAN = "def f(items):\n    return sorted(set(items))\n"
+
+
+class TestExitCodes:
+    def test_clean_exits_zero(self, tmp_path, capsys):
+        p = tmp_path / "ok.py"
+        p.write_text(CLEAN)
+        assert main([str(p)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        p = tmp_path / "bad.py"
+        p.write_text(BAD)
+        assert main([str(p)]) == 1
+        out = capsys.readouterr().out
+        assert "DET002" in out and "bad.py:2" in out
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        p = tmp_path / "ok.py"
+        p.write_text(CLEAN)
+        assert main([str(p), "--select", "NOPE999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_select_ignores_other_rules(self, tmp_path):
+        p = tmp_path / "bad.py"
+        p.write_text(BAD)
+        assert main([str(p), "--select", "DET001"]) == 0
+        assert main([str(p), "--select", "DET002"]) == 1
+        assert main([str(p), "--ignore", "DET002"]) == 0
+
+    def test_jobs_flag(self, tmp_path):
+        for i in range(4):
+            (tmp_path / f"m{i}.py").write_text(CLEAN)
+        assert main([str(tmp_path), "--jobs", "2"]) == 0
+
+
+class TestJSONOutput:
+    def test_schema(self, tmp_path, capsys):
+        p = tmp_path / "bad.py"
+        p.write_text(BAD)
+        assert main([str(p), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["n_files"] == 1
+        assert payload["n_findings"] == 1
+        assert payload["counts"] == {"DET002": 1}
+        (finding,) = payload["findings"]
+        assert set(finding) == {
+            "code",
+            "path",
+            "line",
+            "col",
+            "message",
+            "suppressed",
+        }
+        assert finding["code"] == "DET002"
+        assert finding["line"] == 2
+        assert finding["suppressed"] is False
+
+    def test_clean_json(self, tmp_path, capsys):
+        p = tmp_path / "ok.py"
+        p.write_text(CLEAN)
+        assert main([str(p), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["counts"] == {}
+
+
+class TestListRules:
+    def test_catalog_covers_every_registered_rule(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in all_rules():
+            assert code in out
+
+    def test_expected_rule_set(self):
+        assert set(all_rules()) == {
+            "DET001",
+            "DET002",
+            "OBS001",
+            "PURE001",
+            "ERR001",
+            "VAL001",
+        }

@@ -1,0 +1,114 @@
+"""Engine behaviour: suppressions, selection, exemptions, parallel runs."""
+
+import textwrap
+
+from repro.lint import LintConfig, collect_files, lint_paths, lint_source
+from repro.lint.engine import PARSE_ERROR_CODE
+
+VIOLATION = textwrap.dedent(
+    """
+    import time
+
+    def step():
+        return time.time()
+
+    def dedupe(items):
+        return list(set(items))
+    """
+)
+
+
+class TestSuppressions:
+    def test_bare_ignore_suppresses_every_rule(self):
+        src = "def f(items):\n    return list(set(items))  # repro-lint: ignore\n"
+        assert lint_source(src, path="pkg/m.py") == []
+
+    def test_ignore_other_code_does_not_suppress(self):
+        src = (
+            "def f(items):\n"
+            "    return list(set(items))  # repro-lint: ignore[DET001]\n"
+        )
+        out = lint_source(src, path="pkg/m.py")
+        assert [f.code for f in out] == ["DET002"]
+
+    def test_multiple_codes_one_comment(self):
+        src = (
+            "import time\n"
+            "def f(items):\n"
+            "    return list(set(items)), time.time()  "
+            "# repro-lint: ignore[DET001, DET002]\n"
+        )
+        assert lint_source(src, path="pkg/m.py") == []
+
+    def test_skip_file(self):
+        src = "# repro-lint: skip-file\n" + VIOLATION
+        assert lint_source(src, path="pkg/m.py") == []
+
+    def test_show_suppressed_keeps_findings_nonfailing(self):
+        src = "def f(items):\n    return list(set(items))  # repro-lint: ignore\n"
+        config = LintConfig(show_suppressed=True)
+        out = lint_source(src, path="pkg/m.py", config=config)
+        assert [f.code for f in out] == ["DET002"]
+        assert all(f.suppressed for f in out)
+
+
+class TestSelection:
+    def test_select_restricts(self):
+        config = LintConfig(select=frozenset({"DET002"}))
+        out = lint_source(VIOLATION, path="pkg/m.py", config=config)
+        assert [f.code for f in out] == ["DET002"]
+
+    def test_ignore_removes(self):
+        config = LintConfig(ignore=frozenset({"DET002"}))
+        out = lint_source(VIOLATION, path="pkg/m.py", config=config)
+        assert [f.code for f in out] == ["DET001"]
+
+
+class TestExemptions:
+    def test_exempt_path_fragment(self):
+        src = "import time\n\ndef f():\n    return time.perf_counter()\n"
+        assert lint_source(src, path="src/repro/obs/tracing.py") == []
+        assert [f.code for f in lint_source(src, path="src/repro/storage/x.py")] == [
+            "DET001"
+        ]
+
+    def test_benchmarks_exempt_from_det001(self):
+        src = "import time\n\ndef f():\n    return time.time()\n"
+        assert lint_source(src, path="benchmarks/bench_foo.py") == []
+
+
+class TestParseErrors:
+    def test_unparsable_file_is_a_finding(self):
+        out = lint_source("def broken(:\n", path="pkg/m.py")
+        assert [f.code for f in out] == [PARSE_ERROR_CODE]
+
+
+class TestLintPaths:
+    def _tree(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "clean.py").write_text("X = 1\n")
+        (tmp_path / "sub" / "bad.py").write_text(
+            "def f(items):\n    return list(set(items))\n"
+        )
+        (tmp_path / "sub" / "worse.py").write_text(
+            "import time\n\ndef g():\n    return time.time()\n"
+        )
+        return tmp_path
+
+    def test_collect_files_sorted(self, tmp_path):
+        root = self._tree(tmp_path)
+        files = collect_files([root])
+        assert files == sorted(files)
+        assert len(files) == 3
+
+    def test_report_counts(self, tmp_path):
+        report = lint_paths([self._tree(tmp_path)])
+        assert report.n_files == 3
+        assert report.counts() == {"DET001": 1, "DET002": 1}
+
+    def test_jobs_do_not_change_output(self, tmp_path):
+        root = self._tree(tmp_path)
+        serial = lint_paths([root], jobs=1)
+        parallel = lint_paths([root], jobs=3)
+        assert serial.findings == parallel.findings
+        assert serial.n_files == parallel.n_files

@@ -1,0 +1,630 @@
+"""Fixture-snippet tests: every rule fires on its positive fixture, is
+silenced by a ``# repro-lint: ignore[...]`` on the flagged line, and
+stays quiet on the compliant rewrite."""
+
+import textwrap
+
+from repro.lint import LintConfig, lint_source
+
+
+def run(source, *, rule, path="pkg/sim.py"):
+    """Lint a dedented snippet with exactly one rule selected."""
+    config = LintConfig(select=frozenset({rule}))
+    return lint_source(textwrap.dedent(source), path=path, config=config)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+# -- DET001: wall clock / global RNG ---------------------------------------
+
+
+class TestDET001:
+    def test_wall_clock_fires(self):
+        out = run(
+            """
+            import time
+
+            def step():
+                return time.time()
+            """,
+            rule="DET001",
+        )
+        assert codes(out) == ["DET001"]
+        assert "time.time" in out[0].message
+
+    def test_from_import_alias_resolves(self):
+        out = run(
+            """
+            from time import perf_counter as pc
+
+            def step():
+                return pc()
+            """,
+            rule="DET001",
+        )
+        assert codes(out) == ["DET001"]
+
+    def test_global_numpy_rng_fires(self):
+        out = run(
+            """
+            import numpy as np
+
+            def draw():
+                return np.random.randint(10)
+            """,
+            rule="DET001",
+        )
+        assert codes(out) == ["DET001"]
+
+    def test_stdlib_global_rng_fires(self):
+        out = run(
+            """
+            import random
+
+            def draw():
+                random.seed(0)
+                return random.random()
+            """,
+            rule="DET001",
+        )
+        assert codes(out) == ["DET001", "DET001"]
+
+    def test_suppressed(self):
+        out = run(
+            """
+            import time
+
+            def step():
+                return time.time()  # repro-lint: ignore[DET001]
+            """,
+            rule="DET001",
+        )
+        assert out == []
+
+    def test_seeded_rng_clean(self):
+        out = run(
+            """
+            import numpy as np
+            import random
+
+            def draw(seed):
+                rng = np.random.default_rng(seed)
+                r2 = random.Random(seed)
+                return rng.integers(0, 10), r2.randint(0, 9)
+            """,
+            rule="DET001",
+        )
+        assert out == []
+
+    def test_runner_timing_path_exempt(self):
+        out = run(
+            """
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """,
+            rule="DET001",
+            path="src/repro/runner/executor.py",
+        )
+        assert out == []
+
+
+# -- DET002: unordered iteration -------------------------------------------
+
+
+class TestDET002:
+    def test_for_over_set_literal_fires(self):
+        out = run(
+            """
+            def order(out):
+                for k in {1, 2, 3}:
+                    out.append(k)
+            """,
+            rule="DET002",
+        )
+        assert codes(out) == ["DET002"]
+
+    def test_list_of_set_call_fires(self):
+        out = run(
+            """
+            def dedupe(items):
+                return list(set(items))
+            """,
+            rule="DET002",
+        )
+        assert codes(out) == ["DET002"]
+
+    def test_comprehension_over_set_method_fires(self):
+        out = run(
+            """
+            def shared(a, b):
+                return [k for k in a.intersection(b)]
+            """,
+            rule="DET002",
+        )
+        assert codes(out) == ["DET002"]
+
+    def test_listdir_fires(self):
+        out = run(
+            """
+            import os
+
+            def entries(root):
+                return [p for p in os.listdir(root)]
+            """,
+            rule="DET002",
+        )
+        assert codes(out) == ["DET002"]
+
+    def test_suppressed(self):
+        out = run(
+            """
+            def dedupe(items):
+                return list(set(items))  # repro-lint: ignore[DET002]
+            """,
+            rule="DET002",
+        )
+        assert out == []
+
+    def test_sorted_wrapping_clean(self):
+        out = run(
+            """
+            def dedupe(items):
+                for k in sorted(set(items)):
+                    yield k
+                return sorted(set(items))
+            """,
+            rule="DET002",
+        )
+        assert out == []
+
+    def test_order_insensitive_reduction_clean(self):
+        out = run(
+            """
+            def total(xs):
+                return sum(set(xs)), len(set(xs)), max(set(xs))
+            """,
+            rule="DET002",
+        )
+        assert out == []
+
+    def test_dict_keys_only_in_strict_mode(self):
+        src = """
+        def order(d):
+            return list(d.keys())
+        """
+        assert run(src, rule="DET002") == []
+        strict = LintConfig(
+            select=frozenset({"DET002"}), det002_flag_dict_keys=True
+        )
+        out = lint_source(textwrap.dedent(src), path="pkg/sim.py", config=strict)
+        assert codes(out) == ["DET002"]
+
+
+# -- OBS001: enabled-guards around recording calls -------------------------
+
+
+class TestOBS001:
+    def test_unguarded_counter_fires(self):
+        out = run(
+            """
+            from repro.obs import OBS
+
+            def hot():
+                OBS.counter("x").inc()
+            """,
+            rule="OBS001",
+        )
+        assert codes(out) == ["OBS001"]
+
+    def test_else_branch_is_not_guarded(self):
+        out = run(
+            """
+            from repro.obs import OBS
+
+            def hot():
+                if OBS.enabled:
+                    pass
+                else:
+                    OBS.counter("x").inc()
+            """,
+            rule="OBS001",
+        )
+        assert codes(out) == ["OBS001"]
+
+    def test_unguarded_tracer_record_fires(self):
+        out = run(
+            """
+            from repro.obs import OBS
+
+            def hot():
+                OBS.tracer.record("span", 0.0, 1.0)
+            """,
+            rule="OBS001",
+        )
+        assert codes(out) == ["OBS001"]
+
+    def test_suppressed(self):
+        out = run(
+            """
+            from repro.obs import OBS
+
+            def helper():
+                OBS.io_event("d", "read", 0, 1, 0.0, 1.0)  # repro-lint: ignore[OBS001]
+            """,
+            rule="OBS001",
+        )
+        assert out == []
+
+    def test_direct_guard_clean(self):
+        out = run(
+            """
+            from repro.obs import OBS
+
+            def hot():
+                if OBS.enabled:
+                    OBS.counter("x").inc()
+                    if OBS.tracer is not None:
+                        OBS.tracer.record("span", 0.0, 1.0)
+            """,
+            rule="OBS001",
+        )
+        assert out == []
+
+    def test_hoisted_flag_guard_clean(self):
+        out = run(
+            """
+            from repro.obs import OBS
+
+            def hot():
+                observe = OBS.enabled
+                if observe:
+                    OBS.histogram("h").record(1.0)
+            """,
+            rule="OBS001",
+        )
+        assert out == []
+
+    def test_early_return_guard_clean(self):
+        out = run(
+            """
+            from repro.obs import OBS
+
+            def hot():
+                if not OBS.enabled:
+                    return
+                OBS.counter("x").inc()
+            """,
+            rule="OBS001",
+        )
+        assert out == []
+
+    def test_conjunction_guard_clean(self):
+        out = run(
+            """
+            from repro.obs import OBS
+
+            def hot(n):
+                if OBS.enabled and n > 0:
+                    OBS.counter("x").inc(n)
+            """,
+            rule="OBS001",
+        )
+        assert out == []
+
+    def test_snapshot_is_control_plane(self):
+        out = run(
+            """
+            from repro.obs import OBS
+
+            def render():
+                return OBS.snapshot()
+            """,
+            rule="OBS001",
+        )
+        assert out == []
+
+
+# -- PURE001: kernel purity -------------------------------------------------
+
+
+class TestPURE001:
+    def test_global_write_fires(self):
+        out = run(
+            """
+            from repro.runner.kernels import register
+
+            COUNTER = 0
+
+            @register("bad_kernel")
+            def bad(*, seed):
+                global COUNTER
+                COUNTER += 1
+                return seed
+            """,
+            rule="PURE001",
+        )
+        assert "PURE001" in codes(out)
+        assert any("global" in f.message for f in out)
+
+    def test_module_state_mutation_fires(self):
+        out = run(
+            """
+            from repro.runner.kernels import register
+
+            STATE = {}
+
+            @register("bad_kernel")
+            def bad(*, seed):
+                STATE["last"] = seed
+                return seed
+            """,
+            rule="PURE001",
+        )
+        assert codes(out) == ["PURE001"]
+        assert "STATE" in out[0].message
+
+    def test_open_handle_capture_fires(self):
+        out = run(
+            """
+            from repro.runner.kernels import register
+
+            LOG_FH = open("kernel.log", "a")
+
+            @register("bad_kernel")
+            def bad(*, seed):
+                LOG_FH.write(str(seed))
+                return seed
+            """,
+            rule="PURE001",
+        )
+        assert codes(out) == ["PURE001"]
+        assert "LOG_FH" in out[0].message
+
+    def test_suppressed(self):
+        out = run(
+            """
+            from repro.runner.kernels import register
+
+            STATE = {}
+
+            @register("bad_kernel")
+            def bad(*, seed):
+                STATE["last"] = seed  # repro-lint: ignore[PURE001]
+                return seed
+            """,
+            rule="PURE001",
+        )
+        assert out == []
+
+    def test_pure_kernel_clean(self):
+        out = run(
+            """
+            from repro.runner.kernels import register
+
+            @register("good_kernel")
+            def good(*, n, seed):
+                acc = {}
+                for i in range(n):
+                    acc[i] = i * seed
+                acc["total"] = sum(acc.values())
+                return acc
+            """,
+            rule="PURE001",
+        )
+        assert out == []
+
+    def test_unregistered_function_ignored(self):
+        out = run(
+            """
+            STATE = {}
+
+            def helper(x):
+                STATE["x"] = x
+            """,
+            rule="PURE001",
+        )
+        assert out == []
+
+
+# -- ERR001: blind excepts must leave evidence ------------------------------
+
+
+class TestERR001:
+    def test_silent_swallow_fires(self):
+        out = run(
+            """
+            def f(g):
+                try:
+                    g()
+                except Exception:
+                    pass
+            """,
+            rule="ERR001",
+        )
+        assert codes(out) == ["ERR001"]
+
+    def test_bare_except_fires(self):
+        out = run(
+            """
+            def f(g):
+                try:
+                    g()
+                except:
+                    return None
+            """,
+            rule="ERR001",
+        )
+        assert codes(out) == ["ERR001"]
+
+    def test_suppressed(self):
+        out = run(
+            """
+            def f(g):
+                try:
+                    g()
+                except Exception:  # repro-lint: ignore[ERR001]
+                    pass
+            """,
+            rule="ERR001",
+        )
+        assert out == []
+
+    def test_reraise_clean(self):
+        out = run(
+            """
+            def f(g, guarded):
+                try:
+                    g()
+                except Exception:
+                    if not guarded:
+                        raise
+                    return None
+            """,
+            rule="ERR001",
+        )
+        assert out == []
+
+    def test_logging_clean(self):
+        out = run(
+            """
+            import logging
+
+            LOG = logging.getLogger(__name__)
+
+            def f(g):
+                try:
+                    g()
+                except Exception as exc:
+                    LOG.warning("failed: %s", exc)
+            """,
+            rule="ERR001",
+        )
+        assert out == []
+
+    def test_obs_counter_clean(self):
+        out = run(
+            """
+            from repro.obs import OBS
+
+            def f(g):
+                try:
+                    g()
+                except Exception:
+                    if OBS.enabled:
+                        OBS.counter("errors").inc()
+            """,
+            rule="ERR001",
+        )
+        assert out == []
+
+    def test_narrow_handler_out_of_scope(self):
+        out = run(
+            """
+            def f(g):
+                try:
+                    g()
+                except OSError:
+                    pass
+            """,
+            rule="ERR001",
+        )
+        assert out == []
+
+
+# -- VAL001: constructor validation ----------------------------------------
+
+
+class TestVAL001:
+    def test_unvalidated_params_fire(self):
+        out = run(
+            """
+            class Pool:
+                def __init__(self, capacity_bytes, n_workers=2):
+                    self.capacity_bytes = capacity_bytes
+                    self.n_workers = n_workers
+            """,
+            rule="VAL001",
+        )
+        assert codes(out) == ["VAL001", "VAL001"]
+        assert {"capacity_bytes", "n_workers"} == {
+            f.message.split("`")[3] for f in out
+        }
+
+    def test_suppressed(self):
+        out = run(
+            """
+            class Pool:
+                def __init__(self, capacity_bytes):  # repro-lint: ignore[VAL001]
+                    self.capacity_bytes = capacity_bytes
+            """,
+            rule="VAL001",
+        )
+        assert out == []
+
+    def test_raise_on_bad_value_clean(self):
+        out = run(
+            """
+            class Pool:
+                def __init__(self, capacity_bytes):
+                    if capacity_bytes <= 0:
+                        raise ValueError(capacity_bytes)
+                    self.capacity_bytes = capacity_bytes
+            """,
+            rule="VAL001",
+        )
+        assert out == []
+
+    def test_delegation_clean(self):
+        out = run(
+            """
+            class Base:
+                def __init__(self, capacity_bytes):
+                    if capacity_bytes <= 0:
+                        raise ValueError(capacity_bytes)
+
+            class Derived(Base):
+                def __init__(self, capacity_bytes, n_items):
+                    super().__init__(capacity_bytes)
+                    self.n_items = _check_count(n_items)
+            """,
+            rule="VAL001",
+        )
+        assert out == []
+
+    def test_none_default_skipped(self):
+        out = run(
+            """
+            class Pool:
+                def __init__(self, max_spans=None):
+                    self.max_spans = max_spans
+            """,
+            rule="VAL001",
+        )
+        assert out == []
+
+    def test_private_class_skipped(self):
+        out = run(
+            """
+            class _Internal:
+                def __init__(self, capacity_bytes):
+                    self.capacity_bytes = capacity_bytes
+            """,
+            rule="VAL001",
+        )
+        assert out == []
+
+    def test_unrelated_params_skipped(self):
+        out = run(
+            """
+            class Labeller:
+                def __init__(self, name, color="red"):
+                    self.name = name
+                    self.color = color
+            """,
+            rule="VAL001",
+        )
+        assert out == []

@@ -1,0 +1,31 @@
+"""The gate on the gate: this repo's own source lints clean.
+
+If a change introduces a determinism/invariant violation, this test
+fails locally with the same finding the CI ``lint`` job would print —
+fix it or add a reviewed ``# repro-lint: ignore[RULE]`` with a reason.
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+class TestSelfClean:
+    def test_src_repro_has_zero_findings(self):
+        report = lint_paths([SRC])
+        assert report.n_files > 50, "lint walked suspiciously few files"
+        assert report.failures == [], "\n" + "\n".join(
+            f.render() for f in report.failures
+        )
+
+    def test_jobs_match_serial_on_real_tree(self):
+        serial = lint_paths([SRC], jobs=1)
+        parallel = lint_paths([SRC], jobs=4)
+        assert serial.findings == parallel.findings
+
+    def test_lint_package_lints_itself(self):
+        report = lint_paths([SRC / "lint"])
+        assert report.failures == []

@@ -195,6 +195,28 @@ class TestQuarantine:
         assert run_sweep(spec, cache=cache) == [49]  # and re-cached
         assert cache.quarantined == 1
 
+    def test_quarantine_logs_entry_key(self, tmp_path, caplog):
+        cache, fp = self._corrupt(tmp_path, b"\x00garbage")
+        with caplog.at_level("WARNING", logger="repro.runner.cache"):
+            assert ResultCache.is_miss(cache.get(fp))
+        assert any(fp in rec.getMessage() for rec in caplog.records), (
+            "quarantine must log the entry key so the entry is diagnosable"
+        )
+
+    def test_quarantine_records_obs_counter(self, tmp_path):
+        from repro import obs
+
+        cache, fp = self._corrupt(tmp_path, b"\x00garbage")
+        obs.reset()
+        obs.enable()
+        try:
+            assert ResultCache.is_miss(cache.get(fp))
+            snap = obs.OBS.snapshot()
+            assert snap["counters"]["runner.cache.quarantined"] == 1
+        finally:
+            obs.disable()
+            obs.reset()
+
 
 # Raises while ``marker`` exists; succeeds after it is removed.  Models a
 # kernel bug fixed between runs (the resume-from-partial-progress story).
@@ -242,6 +264,10 @@ class TestErrorIsolation:
         assert "kaboom on x=2" in err.message
         assert "RuntimeError" in err.traceback
         assert "kaboom" in str(err)
+        # The placeholder message carries the point's cache fingerprint, so
+        # an isolated failure is attributable without re-running the sweep.
+        assert err.fingerprint == _marker_spec(marker).points[2].fingerprint()
+        assert err.fingerprint[:12] in str(err)
 
     def test_isolate_parallel(self, tmp_path):
         from repro.runner import PointError
