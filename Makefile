@@ -1,6 +1,6 @@
 # Convenience targets; see README.md.
 
-.PHONY: install test lint bench experiments examples all
+.PHONY: install test lint bench experiments examples serve-quick all
 
 install:
 	pip install -e .
@@ -18,6 +18,11 @@ bench:
 experiments:
 	python -m repro.experiments all
 
+# The serving-layer smoke: E19 quick sweep + its tail-latency gates.
+serve-quick:
+	PYTHONPATH=src python -m repro.experiments serve --quick --no-cache
+	PYTHONPATH=src python benchmarks/bench_serve.py --smoke
+
 examples:
 	python examples/quickstart.py
 	python examples/node_size_tuning.py
@@ -25,4 +30,4 @@ examples:
 	python examples/aging_range_queries.py
 	python examples/io_trace_analysis.py
 
-all: lint test bench experiments
+all: lint test bench experiments serve-quick

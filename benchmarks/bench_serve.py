@@ -1,0 +1,156 @@
+"""repro.serve: E19 tail-latency gates on the serving layer.
+
+Two gates on the committed serving numbers:
+
+1. **Hedging pays at high load** — at the highest swept offered rate, the
+   ``hedge`` policy's aggregate p99 must beat ``none``'s.  Replica
+   hedging exists to cut the spiked-service tail; if it stops doing so,
+   either the engine regressed or the stock plan/deadline drifted.
+2. **Determinism** — the sweep re-run must reproduce identical rows
+   (same seed, same per-tenant percentiles), through the runner at
+   ``jobs=2``: the serving layer inherits the runner's bit-identical
+   parallelism contract.
+
+Run standalone to append a record to ``BENCH_serve_tail.json`` at the
+repo root::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--smoke]
+
+``--smoke`` shrinks the sweep to a few seconds of runtime.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.experiments import exp_serve_tail
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_serve_tail.json"
+
+FULL = dict(
+    trees=("btree",),
+    rates=(300.0, 500.0, 700.0),
+    policies=("none", "admit", "hedge", "admit+hedge"),
+    seed=0,
+)
+
+SMOKE = dict(
+    trees=("btree",),
+    rates=(600.0,),
+    policies=("none", "hedge"),
+    quick=True,
+    seed=0,
+)
+
+
+def _run(config, *, jobs=1):
+    t0 = time.perf_counter()
+    result = exp_serve_tail.run(jobs=jobs, cache=None, **config)
+    return result, time.perf_counter() - t0
+
+
+def _row(rows, rate, policy):
+    for r in rows:
+        if r["total_rate"] == rate and r["policy"] == policy:
+            return r
+    raise AssertionError(f"no row at rate={rate} policy={policy}")
+
+
+def _measure(config):
+    result, wall = _run(config)
+    rerun, _ = _run(config, jobs=2)
+    top_rate = max(config["rates"])
+    none_row = _row(result.rows, top_rate, "none")
+    hedge_row = _row(result.rows, top_rate, "hedge")
+    return {
+        "seed": config.get("seed", 0),
+        "plan": result.plan,
+        "rates": list(config["rates"]),
+        "wall_s": wall,
+        "deterministic_across_jobs": result.rows == rerun.rows,
+        "none_p99_ms": none_row["p99_ms"],
+        "hedge_p99_ms": hedge_row["p99_ms"],
+        "none_p999_ms": none_row["p999_ms"],
+        "hedge_p999_ms": hedge_row["p999_ms"],
+        "hedge_p99_improvement": 1.0 - hedge_row["p99_ms"] / none_row["p99_ms"],
+        "hedge_p999_improvement": 1.0 - hedge_row["p999_ms"] / none_row["p999_ms"],
+        "rows": [
+            {
+                "tree": r["tree"],
+                "rate": r["total_rate"],
+                "policy": r["policy"],
+                "utilization": round(r["utilization"], 4),
+                "served": r["served"],
+                "dropped": r["dropped"],
+                "hedges_issued": r["hedges_issued"],
+                "hedges_won": r["hedges_won"],
+                "p50_ms": round(r["p50_ms"], 3),
+                "p99_ms": round(r["p99_ms"], 3),
+                "p999_ms": round(r["p999_ms"], 3),
+                "tenants": {
+                    name: {
+                        "p50_ms": round(t["p50"] * 1e3, 3),
+                        "p99_ms": round(t["p99"] * 1e3, 3),
+                        "p999_ms": round(t["p999"] * 1e3, 3),
+                        "dropped": t["dropped"],
+                        "served": t["served"],
+                    }
+                    for name, t in r["tenants"].items()
+                },
+            }
+            for r in result.rows
+        ],
+    }
+
+
+def _check(m, *, strict_p999=True):
+    assert m["deterministic_across_jobs"], "serve sweep differs across job counts"
+    assert m["hedge_p99_ms"] < m["none_p99_ms"], (
+        f"hedging no longer improves p99 at the top rate: "
+        f"hedge {m['hedge_p99_ms']:.1f}ms vs none {m['none_p99_ms']:.1f}ms"
+    )
+    if strict_p999:
+        # The spike quantile is hedging's home turf; demand a wide margin.
+        # Full config only: the smoke sweep has too few requests for its
+        # p999 to be anything but the single worst round.
+        assert m["hedge_p999_ms"] < 0.5 * m["none_p999_ms"], (
+            f"hedging should cut p999 decisively at the top rate: "
+            f"hedge {m['hedge_p999_ms']:.1f}ms vs none {m['none_p999_ms']:.1f}ms"
+        )
+
+
+def bench_serve_tail(benchmark, show):
+    m = benchmark.pedantic(lambda: _measure(FULL), rounds=1, iterations=1)
+    show(
+        f"E19 top-rate p99: none {m['none_p99_ms']:.1f}ms, "
+        f"hedge {m['hedge_p99_ms']:.1f}ms "
+        f"({m['hedge_p99_improvement']:.0%} better); "
+        f"deterministic across jobs: {m['deterministic_across_jobs']}"
+    )
+    benchmark.extra_info["none_p99_ms"] = round(m["none_p99_ms"], 2)
+    benchmark.extra_info["hedge_p99_ms"] = round(m["hedge_p99_ms"], 2)
+    benchmark.extra_info["improvement"] = round(m["hedge_p99_improvement"], 4)
+    _check(m)
+
+
+def main(argv):
+    config = SMOKE if "--smoke" in argv else FULL
+    m = _measure(config)
+    _check(m, strict_p999=config is FULL)
+    record = {"config": "smoke" if config is SMOKE else "full"}
+    record.update(
+        {k: round(v, 4) if isinstance(v, float) else v for k, v in m.items()}
+    )
+    history = []
+    if BENCH_JSON.exists():
+        history = json.loads(BENCH_JSON.read_text())
+    history.append(record)
+    BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
+    print(json.dumps({k: v for k, v in record.items() if k != "rows"}, indent=2))
+    print(f"appended to {BENCH_JSON} ({len(record['rows'])} rows)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1:])

@@ -22,6 +22,7 @@ from repro.experiments import (
     exp_pdam_concurrency,
     exp_pdam_validation,
     exp_sensitivity,
+    exp_serve_tail,
     exp_tail_resilience,
     exp_write_amp,
     exp_ycsb,
@@ -45,13 +46,16 @@ EXPERIMENTS: dict[str, Callable[[], object]] = {
     "modelerr": exp_model_error.run,
     "autotune": exp_autotune.run,
     "tailres": exp_tail_resilience.run,
+    "serve": exp_serve_tail.run,
 }
 
 #: Experiments migrated to repro.runner: these accept ``jobs=``/``cache=``.
-RUNNER_EXPERIMENTS = frozenset({"table2", "fig2", "fig3", "autotune", "tailres"})
+RUNNER_EXPERIMENTS = frozenset(
+    {"table2", "fig2", "fig3", "autotune", "tailres", "serve"}
+)
 
 #: Experiments that understand the fault flags (--faults/--policy/--quick).
-FAULT_EXPERIMENTS = frozenset({"tailres"})
+FAULT_EXPERIMENTS = frozenset({"tailres", "serve"})
 
 
 def _run_one(
@@ -126,10 +130,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--policy",
-        choices=["none", "retry", "hedge"],
+        choices=["none", "retry", "hedge", "admit", "admit+hedge"],
         default=None,
         help="restrict fault-aware experiments to one resilience policy "
-        "(default: sweep all three)",
+        "(default: sweep the experiment's own set; 'admit' variants are "
+        "serve-only, 'retry' is device-level)",
     )
     parser.add_argument(
         "--quick",

@@ -240,6 +240,50 @@ def tail_resilience_tree(
     )
 
 
+# -- E19: serving tail latency vs offered load ------------------------------
+
+
+@register("serve_tail_point")
+def serve_tail_point(
+    *,
+    tree: str,
+    policy: str,
+    total_rate: float,
+    duration_seconds: float,
+    plan_json: str,
+    n_entries: int,
+    universe: int,
+    n_shards: int,
+    shard_policy: str,
+    replicas: int,
+    batch: int,
+    node_bytes: int,
+    cache_bytes: int,
+    warm_queries: int,
+    seed: int,
+) -> dict[str, Any]:
+    """One serving cluster at one (tree, offered load, policy)."""
+    from repro.experiments import exp_serve_tail
+
+    return exp_serve_tail.measure_serve(
+        tree=tree,
+        policy=policy,
+        total_rate=total_rate,
+        duration_seconds=duration_seconds,
+        plan_json=plan_json,
+        n_entries=n_entries,
+        universe=universe,
+        n_shards=n_shards,
+        shard_policy=shard_policy,
+        replicas=replicas,
+        batch=batch,
+        node_bytes=node_bytes,
+        cache_bytes=cache_bytes,
+        warm_queries=warm_queries,
+        seed=seed,
+    )
+
+
 @register("tail_resilience_pdam")
 def tail_resilience_pdam(
     *,

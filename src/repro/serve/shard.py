@@ -1,0 +1,250 @@
+"""Shards and replicas: the storage side of the serving layer.
+
+A *shard* owns a slice of the key space and some number of *replicas*;
+each replica is a full copy of the shard's data on its own
+:class:`~repro.storage.stack.StorageStack` (own device, own cache, own
+fault stream).  The replica is the unit of service: one replica runs one
+service round (a batch of point lookups) at a time, and the shard's
+:class:`~repro.storage.engine.ResourcePool` of replica timelines is where
+"is there a spare slot to hedge on?" gets answered — via the pool's
+``free_slots``/``first_free`` occupancy accessors, never by poking its
+private state.
+
+Service cost is measured, not modeled: a round calls the replica's tree
+and reads the simulated device seconds it charged.  B-trees use the
+batched :meth:`~repro.trees.btree.tree.BTree.get_many` descent (one
+:meth:`~repro.storage.stack.StorageStack.read_many` per level); Bε-trees
+and LSMs fall back to a per-key loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan, FaultyDevice, ResiliencePolicy
+from repro.serve.tenants import derive_seed
+from repro.storage.engine import ResourcePool
+from repro.storage.stack import StorageStack
+
+#: Tree kinds a shard replica can run.
+SERVE_TREES = ("btree", "betree", "lsm")
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """How every replica of every shard is built.
+
+    Parameters
+    ----------
+    tree:
+        One of :data:`SERVE_TREES`.
+    node_bytes:
+        Tree node size (B-tree/Bε-tree) or LSM block size.
+    cache_bytes:
+        Buffer-cache budget per replica.
+    replicas:
+        Copies of each shard (>= 1; hedging needs >= 2 to ever win).
+    batch:
+        Maximum requests one service round serves — the replica's
+        "channel count" in the PDAM sense: a round moves up to ``batch``
+        lookups through the device as one batched schedule.
+    warm_queries:
+        Per-replica warm-up lookups after loading (seeded per replica),
+        so measured traffic starts from a realistically warm cache.
+    """
+
+    tree: str = "btree"
+    node_bytes: int = 4096
+    cache_bytes: int = 256 << 10
+    replicas: int = 2
+    batch: int = 8
+    warm_queries: int = 64
+
+    def __post_init__(self) -> None:
+        if self.tree not in SERVE_TREES:
+            raise ConfigurationError(
+                f"unknown tree {self.tree!r}; expected one of {SERVE_TREES}"
+            )
+        if self.node_bytes <= 0 or self.cache_bytes <= 0:
+            raise ConfigurationError("node_bytes and cache_bytes must be positive")
+        if self.replicas < 1:
+            raise ConfigurationError(f"replicas must be >= 1, got {self.replicas}")
+        if self.batch < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {self.batch}")
+        if self.warm_queries < 0:
+            raise ConfigurationError(
+                f"warm_queries must be >= 0, got {self.warm_queries}"
+            )
+
+    def describe(self) -> dict[str, Any]:
+        """Stable JSON-able identity."""
+        return {
+            "tree": self.tree,
+            "node_bytes": self.node_bytes,
+            "cache_bytes": self.cache_bytes,
+            "replicas": self.replicas,
+            "batch": self.batch,
+            "warm_queries": self.warm_queries,
+        }
+
+
+class Replica:
+    """One copy of a shard's data on its own device and cache."""
+
+    def __init__(self, tree_kind: str, tree: Any, io_source: Any) -> None:
+        self.tree_kind = tree_kind
+        self.tree = tree
+        self._io_source = io_source  # StorageStack or BlockDevice (LSM)
+        self.rounds = 0
+        self.lookups = 0
+
+    @property
+    def io_seconds(self) -> float:
+        """Simulated device seconds this replica has charged so far."""
+        if isinstance(self._io_source, StorageStack):
+            return self._io_source.io_seconds
+        return self._io_source.stats.busy_seconds
+
+    def lookup_many(self, keys: list[int]) -> float:
+        """Serve one round of point lookups; returns its device seconds."""
+        start = self.io_seconds
+        if self.tree_kind == "btree":
+            self.tree.get_many(keys)
+        else:
+            for key in keys:
+                self.tree.get(key)
+        self.rounds += 1
+        self.lookups += len(keys)
+        return self.io_seconds - start
+
+
+class Shard:
+    """Replica set plus the service timeline pool over it."""
+
+    def __init__(self, index: int, replicas: list[Replica]) -> None:
+        if not replicas:
+            raise ConfigurationError("a shard needs at least one replica")
+        self.index = index
+        self.replicas = replicas
+        self.pool = ResourcePool(len(replicas))
+
+
+def build_shards(
+    n_shards: int,
+    partitions: list[list[tuple[int, int]]],
+    config: ShardConfig,
+    *,
+    seed: int,
+    plan: FaultPlan | None = None,
+    device_policy: ResiliencePolicy | None = None,
+) -> list[Shard]:
+    """Construct ``n_shards`` shards, each with ``config.replicas`` replicas.
+
+    ``partitions[s]`` is shard ``s``'s sorted ``(key, value)`` load.  Each
+    replica gets its own device seed and its own fault-plan seed (both
+    derived from ``seed`` and the shard/replica indices), so replicas see
+    independent mechanical noise and independent fault draws — which is
+    why hedging across them can win.
+    """
+    if len(partitions) != n_shards:
+        raise ConfigurationError(
+            f"expected {n_shards} partitions, got {len(partitions)}"
+        )
+    shards: list[Shard] = []
+    for s in range(n_shards):
+        replicas = [
+            _build_replica(
+                config,
+                partitions[s],
+                device_seed=derive_seed(seed, "device", s, r),
+                plan=plan,
+                device_policy=device_policy,
+            )
+            for r in range(config.replicas)
+        ]
+        shards.append(Shard(s, replicas))
+    return shards
+
+
+def _build_replica(
+    config: ShardConfig,
+    pairs: list[tuple[int, int]],
+    *,
+    device_seed: int,
+    plan: FaultPlan | None,
+    device_policy: ResiliencePolicy | None,
+) -> Replica:
+    from repro.experiments.devices import default_hdd
+
+    device = default_hdd(seed=device_seed)
+    if plan is not None:
+        armed = FaultPlan(
+            seed=derive_seed(plan.seed, "plan", device_seed),
+            spike_prob=plan.spike_prob,
+            spike_seconds=plan.spike_seconds,
+            spike_alpha=plan.spike_alpha,
+            error_prob=plan.error_prob,
+            degraded=plan.degraded,
+            stall_prob=plan.stall_prob,
+            stall_steps=plan.stall_steps,
+        )
+        device = FaultyDevice(device, FaultPlan(seed=armed.seed), policy=device_policy)
+    else:
+        armed = None
+
+    if config.tree == "lsm":
+        from repro.trees.lsm import LSMConfig, LSMTree
+
+        lsm_cfg = LSMConfig(
+            sstable_bytes=max(16 * config.node_bytes, 64 << 10),
+            memtable_bytes=max(16 * config.node_bytes, 64 << 10),
+            level1_bytes=max(64 * config.node_bytes, 256 << 10),
+            block_bytes=config.node_bytes,
+        )
+        tree = LSMTree(device, lsm_cfg)
+        for key, value in pairs:
+            tree.insert(key, value)
+        tree.flush_memtable()
+        replica = Replica("lsm", tree, device)
+        _warm(replica, pairs, device_seed, config.warm_queries)
+        device.reset()
+        if armed is not None:
+            assert isinstance(device, FaultyDevice)
+            device.plan = armed  # faults start with measured traffic
+        return replica
+
+    stack = StorageStack(device, config.cache_bytes)
+    if config.tree == "btree":
+        from repro.trees.btree import BTree, BTreeConfig
+
+        tree = BTree(stack, BTreeConfig(node_bytes=config.node_bytes))
+    else:
+        from repro.trees.betree import BeTreeConfig, OptimizedBeTree
+
+        tree = OptimizedBeTree(stack, BeTreeConfig(node_bytes=config.node_bytes))
+    tree.bulk_load(pairs)
+    stack.drop_cache()
+    replica = Replica(config.tree, tree, stack)
+    _warm(replica, pairs, device_seed, config.warm_queries)
+    device.reset()
+    stack.cache.stats.reset()
+    if armed is not None:
+        assert isinstance(device, FaultyDevice)
+        device.plan = armed  # faults start with measured traffic
+    return replica
+
+
+def _warm(replica: Replica, pairs: list[tuple[int, int]], seed: int, n: int) -> None:
+    """Warm the replica's cache with seeded lookups over its own data."""
+    if not pairs or n <= 0:
+        return
+    rng = np.random.default_rng(derive_seed(seed, "warm"))
+    idx = rng.integers(0, len(pairs), size=n)
+    keys = [pairs[int(i)][0] for i in idx]
+    replica.lookup_many(keys)
+    replica.rounds = 0
+    replica.lookups = 0

@@ -1,0 +1,102 @@
+"""Key-to-shard routing for the serving layer.
+
+A :class:`ShardMap` is a pure function from key to shard index — it holds
+no per-shard state, so the router can live in the request engine, in a
+test, or in a workload generator and always agree.  Two policies:
+
+* ``"hash"`` — a SplitMix64-style bit mix of the key, reduced mod the
+  shard count.  Spreads any key population (including the sequential and
+  clustered ones) evenly; destroys range locality, which is the classic
+  serving trade.
+* ``"range"`` — equal-width slices of the key universe, preserving range
+  locality (and therefore hot-range imbalance under Zipf traffic — the
+  imbalance is the point of having the policy).
+
+Both are deterministic and seed-free: routing is part of the cluster's
+identity, not of any experiment's randomness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Routing policies understood by :class:`ShardMap`.
+SHARD_POLICIES = ("hash", "range")
+
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer: a fixed bijection of the 64-bit integers."""
+    x = (x + np.uint64(0x9E3779B97F4A7C15)) & _MASK64
+    x = ((x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)) & _MASK64
+    x = ((x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)) & _MASK64
+    return x ^ (x >> np.uint64(31))
+
+
+class ShardMap:
+    """Route keys in ``[0, universe)`` to ``n_shards`` shards.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shards (positive).
+    universe:
+        Exclusive upper bound of the key space (positive; range policy
+        slices it, hash policy only validates against it).
+    policy:
+        One of :data:`SHARD_POLICIES`.
+    """
+
+    def __init__(self, n_shards: int, universe: int, *, policy: str = "hash") -> None:
+        if n_shards <= 0:
+            raise ConfigurationError(f"n_shards must be positive, got {n_shards}")
+        if universe <= 0:
+            raise ConfigurationError(f"universe must be positive, got {universe}")
+        if policy not in SHARD_POLICIES:
+            raise ConfigurationError(
+                f"unknown shard policy {policy!r}; expected one of {SHARD_POLICIES}"
+            )
+        self.n_shards = int(n_shards)
+        self.universe = int(universe)
+        self.policy = policy
+
+    def shard_of(self, key: int) -> int:
+        """Shard index of one key."""
+        if not 0 <= key < self.universe:
+            raise ConfigurationError(
+                f"key {key} outside universe [0, {self.universe})"
+            )
+        if self.policy == "hash":
+            # Via the array path: numpy warns on *scalar* uint64 overflow
+            # even though the wrap-around is exactly what SplitMix64 wants.
+            mixed = _mix64(np.array([key], dtype=np.uint64))[0]
+            return int(mixed % np.uint64(self.n_shards))
+        return key * self.n_shards // self.universe
+
+    def shards_of(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`shard_of` (dtype int64)."""
+        arr = np.asarray(keys, dtype=np.int64)
+        if arr.size and (int(arr.min()) < 0 or int(arr.max()) >= self.universe):
+            raise ConfigurationError("keys outside universe")
+        if self.policy == "hash":
+            return (_mix64(arr.astype(np.uint64)) % np.uint64(self.n_shards)).astype(
+                np.int64
+            )
+        return arr * self.n_shards // self.universe
+
+    def partition(self, keys: np.ndarray) -> list[np.ndarray]:
+        """Split ``keys`` into ``n_shards`` arrays, order preserved per shard."""
+        arr = np.asarray(keys, dtype=np.int64)
+        owners = self.shards_of(arr)
+        return [arr[owners == s] for s in range(self.n_shards)]
+
+    def describe(self) -> dict[str, object]:
+        """Stable JSON-able identity."""
+        return {
+            "n_shards": self.n_shards,
+            "universe": self.universe,
+            "policy": self.policy,
+        }

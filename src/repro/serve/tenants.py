@@ -1,0 +1,154 @@
+"""Multi-tenant open-loop traffic: who asks for what, when.
+
+Every tenant owns two private RNG streams — one for arrival times, one
+for keys — derived from ``(base_seed, tenant name)`` by a stable CRC mix.
+Streams therefore depend only on the tenant's own identity: adding,
+removing or reordering *other* tenants never changes a tenant's draws
+(pinned by ``tests/serve``), which is what makes A/B comparisons between
+tenant mixes meaningful.
+
+Arrivals are an open-loop Poisson process per tenant (exponential
+inter-arrival times at the tenant's offered rate): requests keep coming
+whether or not the cluster keeps up.  That is the defining difference
+from every closed-loop experiment in this repository — queues can grow,
+and tail latency at high load is mostly *waiting*, which is exactly the
+regime the serving layer exists to manage.
+
+Keys are drawn Zipf-skewed over the loaded key population through
+:class:`~repro.workloads.distributions.ZipfKeys`, whose keyed-Feistel
+scatter gives each tenant its own hot set (two tenants with the same
+``theta`` but different names hammer different keys).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import ZipfKeys
+
+
+def derive_seed(base_seed: int, *parts: object) -> int:
+    """A stable 31-bit seed from a base seed and any identity parts.
+
+    Uses CRC32 over the repr of the parts — deterministic across
+    processes and Python versions (unlike builtin ``hash``), and
+    insensitive to everything except ``(base_seed, parts)`` itself.
+    """
+    text = repr((int(base_seed),) + tuple(parts)).encode("utf-8")
+    return zlib.crc32(text) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's identity, traffic shape and QoS contract.
+
+    Parameters
+    ----------
+    name:
+        Unique tenant identity; seeds the tenant's private RNG streams.
+    rate:
+        Offered load in requests per simulated second (positive).
+    weight:
+        Weighted-fair share of service slots (positive; relative).
+    theta:
+        Zipf skew of the tenant's key popularity (> 1 for numpy zipf).
+    rate_limit:
+        Admission token-bucket refill rate in requests/second, or ``None``
+        for no limit.  Tokens cap at ``burst``.
+    burst:
+        Token-bucket depth (maximum burst admitted at once).
+    """
+
+    name: str
+    rate: float
+    weight: float = 1.0
+    theta: float = 1.2
+    rate_limit: float | None = None
+    burst: float = 16.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("tenant name must be non-empty")
+        if self.rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {self.rate}")
+        if self.weight <= 0:
+            raise ConfigurationError(f"weight must be positive, got {self.weight}")
+        if self.theta <= 1.0:
+            raise ConfigurationError(f"theta must exceed 1, got {self.theta}")
+        if self.rate_limit is not None and self.rate_limit <= 0:
+            raise ConfigurationError(
+                f"rate_limit must be positive or None, got {self.rate_limit}"
+            )
+        if self.burst < 1.0:
+            raise ConfigurationError(f"burst must be >= 1, got {self.burst}")
+
+    def describe(self) -> dict[str, object]:
+        """Stable JSON-able identity."""
+        return {
+            "name": self.name,
+            "rate": self.rate,
+            "weight": self.weight,
+            "theta": self.theta,
+            "rate_limit": self.rate_limit,
+            "burst": self.burst,
+        }
+
+
+def tenant_arrivals(
+    spec: TenantSpec, duration_seconds: float, base_seed: int
+) -> np.ndarray:
+    """This tenant's arrival times in ``[0, duration)``, sorted ascending.
+
+    A Poisson process at ``spec.rate``: cumulative sums of exponential
+    inter-arrival draws from the tenant's private arrival stream.  The
+    number of draws depends only on the tenant's own stream, never on
+    other tenants.
+    """
+    if duration_seconds <= 0:
+        raise ConfigurationError(
+            f"duration_seconds must be positive, got {duration_seconds}"
+        )
+    rng = np.random.default_rng(derive_seed(base_seed, "arrivals", spec.name))
+    mean_gap = 1.0 / spec.rate
+    expected = spec.rate * duration_seconds
+    # Draw in deterministic fixed-size chunks until the horizon is passed.
+    chunk = max(64, int(expected * 1.25) + 1)
+    times: list[np.ndarray] = []
+    total = 0.0
+    while total < duration_seconds:
+        gaps = rng.exponential(mean_gap, size=chunk)
+        cum = total + np.cumsum(gaps)
+        times.append(cum)
+        total = float(cum[-1])
+    arrivals = np.concatenate(times)
+    return arrivals[arrivals < duration_seconds]
+
+
+def tenant_keys(spec: TenantSpec, n: int, n_keys: int, base_seed: int) -> np.ndarray:
+    """``n`` key *indices* in ``[0, n_keys)`` from the tenant's Zipf stream.
+
+    Indices, not keys: the engine resolves them against the loaded key
+    list, so the same tenant stream replays identically on any dataset of
+    the same size.  The per-tenant scatter seed gives each tenant its own
+    hot set.
+    """
+    if n_keys < 2:
+        raise ConfigurationError(f"need at least 2 loaded keys, got {n_keys}")
+    dist = ZipfKeys(
+        n_keys, seed=derive_seed(base_seed, "keys", spec.name), theta=spec.theta
+    )
+    return dist.sample(n)
+
+
+def check_unique_names(tenants: tuple[TenantSpec, ...]) -> tuple[TenantSpec, ...]:
+    """Validate a tenant set (non-empty, unique names); returns it."""
+    if not tenants:
+        raise ConfigurationError("need at least one tenant")
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate tenant names in {names}")
+    return tuple(tenants)

@@ -27,7 +27,7 @@ steady-state hot path (hit, miss, evict) allocates nothing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Hashable, Iterator
+from typing import Any, Hashable, Iterator, Sequence
 
 from repro.errors import CacheError, ConfigurationError
 from repro.obs import OBS
@@ -206,6 +206,67 @@ class BufferCache:
         self.cached_bytes += entry.nbytes
         self._evict_until_fits()
         return entry.obj
+
+    def get_many(self, node_ids: "Sequence[Hashable]") -> list[Any]:
+        """Batched read-through fetch; objects in input order.
+
+        Hit/miss accounting matches a serial loop of :meth:`get` exactly
+        (a node fetched earlier in the same batch hits on its second
+        appearance).  Runs of consecutive misses with equal extent size
+        are charged through the device's vectorized
+        :meth:`~repro.storage.device.BlockDevice.read_batch` and admitted
+        afterwards, so the run's reads are issued before any write-backs
+        its admissions trigger; see
+        :meth:`repro.storage.stack.StorageStack.read_many` for the exact
+        equivalence contract.
+        """
+        out: list[Any] = [None] * len(node_ids)
+        run: list[_Entry] = []
+        run_nbytes = 0
+        in_run: set[Hashable] = set()
+
+        def flush_run() -> None:
+            nonlocal run_nbytes
+            if not run:
+                return
+            offsets = [e.offset for e in run]
+            for dt in self.device.read_batch(offsets, run_nbytes):
+                self.io_seconds += dt
+            for e in run:
+                # Admission may itself evict earlier entries of this run;
+                # that only changes residency, the objects stay returned.
+                self._link_mru(e)
+                self.cached_bytes += e.nbytes
+                self._evict_until_fits()
+            run.clear()
+            in_run.clear()
+            run_nbytes = 0
+
+        for pos, node_id in enumerate(node_ids):
+            entry = self._index.get(node_id)
+            if entry is None:
+                raise CacheError(f"unknown node id {node_id!r}")
+            if node_id in in_run:
+                flush_run()  # make it resident so the re-read hits, as serially
+                entry = self._index[node_id]
+            if entry.resident:
+                self.stats.hits += 1
+                if OBS.enabled:
+                    OBS.counter("cache.hits").inc()
+                self._touch(entry)
+                out[pos] = entry.obj
+                continue
+            self.stats.misses += 1
+            if OBS.enabled:
+                OBS.counter("cache.misses").inc()
+            out[pos] = entry.obj
+            if run and entry.nbytes != run_nbytes:
+                flush_run()
+            run.append(entry)
+            in_run.add(node_id)
+            run_nbytes = entry.nbytes
+        flush_run()
+        return out
 
     def insert(
         self, node_id: Hashable, obj: Any, offset: int, nbytes: int, *, dirty: bool = True

@@ -59,6 +59,10 @@ class Resource:
         """When a job arriving at ``at`` would start, without reserving."""
         return max(at, self.available_at)
 
+    def is_free(self, at: float) -> bool:
+        """Whether a job arriving at ``at`` would start immediately."""
+        return self.available_at <= at
+
     def reset(self) -> None:
         """Forget all reservations (new experiment on the same hardware)."""
         self.available_at = 0.0
@@ -92,6 +96,33 @@ class ResourcePool:
     def max_available_at(self) -> float:
         """The time the last resource in the pool frees up."""
         return max(r.available_at for r in self._resources)
+
+    # -- occupancy queries (the public alternative to poking _resources) -----
+
+    def free_slots(self, at: float = 0.0) -> int:
+        """How many resources would serve a job arriving at ``at`` immediately.
+
+        This is the pool's *spare capacity* at an instant — the quantity
+        hedging policies budget against (a duplicate IO is free only when
+        a slot would otherwise idle).  Callers must use this instead of
+        reaching into the pool's private resource list.
+        """
+        return sum(1 for r in self._resources if r.available_at <= at)
+
+    def first_free(self, at: float, *, exclude: int | None = None) -> int | None:
+        """Lowest index of a resource free at ``at``, or ``None`` if all busy.
+
+        ``exclude`` skips one index — a hedger looking for a *second*
+        server must not pick the one already serving the primary.
+        """
+        for i, r in enumerate(self._resources):
+            if i != exclude and r.available_at <= at:
+                return i
+        return None
+
+    def next_available_at(self) -> float:
+        """The earliest time any resource in the pool frees up."""
+        return min(r.available_at for r in self._resources)
 
 
 class ClosedLoopRunner:

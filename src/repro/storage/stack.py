@@ -13,7 +13,7 @@ device time charged so far, in both directions.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Hashable
+from typing import TYPE_CHECKING, Hashable, Sequence
 
 from repro.errors import ConfigurationError
 from repro.storage.allocator import ExtentAllocator
@@ -99,6 +99,32 @@ class StorageStack:
     def get(self, node_id: Hashable) -> object:
         """Read-through fetch of a node object."""
         return self.cache.get(node_id)
+
+    def read_many(self, node_ids: "Sequence[Hashable]") -> list[object]:
+        """Batched read-through fetch; returns objects in input order.
+
+        Equivalent to ``[self.get(i) for i in node_ids]`` — same objects,
+        same hit/miss accounting, same total device traffic — but runs of
+        consecutive *misses with equal extent size* are charged through
+        :meth:`~repro.storage.device.BlockDevice.read_batch`, which
+        vectorizes the per-IO timing math, and are admitted to the cache
+        only after the whole run's reads are issued.  Two consequences:
+
+        * the serve layer's batch of ``k`` point lookups pays one Python
+          batch call per level instead of ``k`` interpreter round-trips
+          per node (first step of the ROADMAP hot-path rewrite);
+        * within a run, reads are issued before the write-backs of any
+          evictions those admissions trigger.  On devices whose per-IO
+          cost is position-independent (affine, PDAM serial) the total is
+          bit-identical to the serial loop; on stateful devices (HDD
+          head position) a batch may price seeks slightly differently —
+          it is a different, better IO schedule, not a different result
+          for the same schedule.
+
+        Misses of heterogeneous sizes fall back to one :meth:`get`-style
+        read each, so the method is safe for any node population.
+        """
+        return self.cache.get_many(node_ids)
 
     def mark_dirty(self, node_id: Hashable) -> None:
         """Record an in-place modification of a node.

@@ -11,7 +11,7 @@ class TestCLI:
             "fig1", "table2", "table3", "fig2", "fig3",
             "lemma13", "writeamp", "theorem9", "optima", "lsm",
             "epsilon", "aging", "asymmetry", "ycsb", "modelerr",
-            "autotune", "tailres",
+            "autotune", "tailres", "serve",
         }
 
     def test_list_prints_names_and_exits_zero(self, capsys):
@@ -87,3 +87,20 @@ class TestFaultFlags:
     def test_bad_policy_rejected(self):
         with pytest.raises(SystemExit):
             main(["tailres", "--policy", "yolo"])
+
+
+class TestServeFlags:
+    def test_serve_quick_smoke(self, capsys):
+        assert main(["serve", "--quick", "--no-cache", "--policy", "hedge"]) == 0
+        out = capsys.readouterr().out
+        assert "E19" in out
+        rows = [l for l in out.splitlines() if l.startswith("btree")]
+        assert rows and all(" admit" not in l for l in rows)
+
+    def test_serve_quick_full_policy_sweep_deterministic(self, capsys):
+        assert main(["serve", "--quick", "--no-cache"]) == 0
+        first = capsys.readouterr().out
+        assert main(["serve", "--quick", "--no-cache", "--jobs", "2"]) == 0
+        second = capsys.readouterr().out
+        table = lambda s: s[: s.index("[serve")]
+        assert table(first) == table(second)  # bit-identical at any job count

@@ -1,0 +1,142 @@
+"""RequestEngine: exact determinism, conservation, and the two QoS levers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import build_load
+from repro.faults import FaultPlan, ResiliencePolicy
+from repro.serve import (
+    AdmissionController,
+    RequestEngine,
+    ShardConfig,
+    ShardMap,
+    TenantSpec,
+    build_shards,
+)
+
+UNIVERSE = 1 << 18
+
+TENANTS = (
+    TenantSpec("alpha", rate=300.0, weight=2.0, theta=1.2),
+    TenantSpec("beta", rate=200.0, weight=1.0, theta=1.4, rate_limit=100.0, burst=8.0),
+)
+
+SPIKY = FaultPlan(seed=7, spike_prob=0.02, spike_seconds=0.08, spike_alpha=1.6)
+
+
+def make_cluster(*, plan=None, replicas=2, n_shards=2, n_entries=1500, seed=42):
+    pairs, _ = build_load(n_entries, UNIVERSE, seed=seed)
+    keys = np.asarray(sorted(k for k, _ in pairs), dtype=np.int64)
+    smap = ShardMap(n_shards, UNIVERSE, policy="hash")
+    pair_map = dict(pairs)
+    partitions = [
+        [(int(k), pair_map[int(k)]) for k in part] for part in smap.partition(keys)
+    ]
+    cfg = ShardConfig(
+        tree="btree", replicas=replicas, batch=8, cache_bytes=32 << 10, warm_queries=32
+    )
+    shards = build_shards(n_shards, partitions, cfg, seed=seed, plan=plan)
+    return shards, smap, keys
+
+
+def run_once(*, plan=None, policy=None, admit=False, duration=1.0, seed=42, **kw):
+    shards, smap, keys = make_cluster(plan=plan, seed=seed, **kw)
+    engine = RequestEngine(
+        shards,
+        smap,
+        TENANTS,
+        keys,
+        batch=8,
+        admission=AdmissionController(TENANTS, enabled=admit),
+        policy=policy,
+    )
+    return engine.run(duration, seed=seed)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_histograms(self):
+        r1 = run_once(plan=SPIKY)
+        r2 = run_once(plan=SPIKY)
+        for t in TENANTS:
+            assert np.array_equal(r1.latency_array(t.name), r2.latency_array(t.name))
+        assert r1.describe() == r2.describe()
+
+    def test_seed_changes_traffic(self):
+        r1 = run_once(seed=42)
+        r2 = run_once(seed=43)
+        assert not np.array_equal(
+            r1.latency_array("alpha"), r2.latency_array("alpha")
+        )
+
+
+class TestConservation:
+    def test_every_admitted_request_completes(self):
+        r = run_once(plan=SPIKY, admit=True)
+        for stats in r.tenants.values():
+            assert stats.offered == stats.admitted + stats.dropped
+            assert stats.served == stats.admitted  # full drain after horizon
+            assert len(stats.latencies) == stats.served
+        assert r.served > 0
+
+    def test_latencies_nonnegative(self):
+        r = run_once(plan=SPIKY)
+        for t in TENANTS:
+            lat = r.latency_array(t.name)
+            assert (lat >= 0).all()
+
+    def test_percentiles_ordered(self):
+        r = run_once(plan=SPIKY)
+        for stats in r.tenants.values():
+            p = stats.percentiles()
+            assert p["p50"] <= p["p99"] <= p["p999"]
+
+
+class TestAdmissionControl:
+    def test_limited_tenant_sheds_only_its_own_traffic(self):
+        r = run_once(admit=True)
+        assert r.tenants["beta"].dropped > 0  # offered 200/s vs limit 100/s
+        assert r.tenants["alpha"].dropped == 0  # no limit
+
+    def test_disabled_controller_drops_nothing(self):
+        r = run_once(admit=False)
+        assert r.dropped == 0
+
+
+class TestHedging:
+    def test_hedges_need_spare_replicas(self):
+        r = run_once(plan=SPIKY, policy=ResiliencePolicy.hedged(1e-6), replicas=1)
+        assert r.hedges_issued == 0  # nowhere to hedge to
+
+    def test_hedges_fire_on_spiked_rounds(self):
+        r = run_once(plan=SPIKY, policy=ResiliencePolicy.hedged(0.02), replicas=3)
+        assert r.hedges_issued > 0
+        assert 0 <= r.hedges_won <= r.hedges_issued
+
+    def test_hedging_improves_p999_under_spikes(self):
+        base = run_once(plan=SPIKY, replicas=3, duration=2.0)
+        hedged = run_once(
+            plan=SPIKY, policy=ResiliencePolicy.hedged(0.02), replicas=3, duration=2.0
+        )
+        lat_b = np.concatenate([base.latency_array(t.name) for t in TENANTS])
+        lat_h = np.concatenate([hedged.latency_array(t.name) for t in TENANTS])
+        assert np.percentile(lat_h, 99.9) < np.percentile(lat_b, 99.9)
+
+    def test_no_policy_never_hedges(self):
+        r = run_once(plan=SPIKY)
+        assert r.hedges_issued == 0 and r.hedges_won == 0
+
+
+class TestValidation:
+    def test_engine_rejects_bad_wiring(self):
+        shards, smap, keys = make_cluster()
+        with pytest.raises(ValueError):
+            RequestEngine([], smap, TENANTS, keys)
+        with pytest.raises(ValueError):
+            RequestEngine(shards, ShardMap(5, UNIVERSE), TENANTS, keys)
+        with pytest.raises(ValueError):
+            RequestEngine(shards, smap, TENANTS, keys, batch=0)
+        with pytest.raises(ValueError):
+            RequestEngine(shards, smap, TENANTS, np.array([1]))
+        engine = RequestEngine(shards, smap, TENANTS, keys)
+        with pytest.raises(ValueError):
+            engine.run(0.0, seed=1)

@@ -1,0 +1,84 @@
+"""ShardMap: routing is total, balanced (hash) or ordered (range), and pure."""
+
+import numpy as np
+import pytest
+
+from repro.serve import SHARD_POLICIES, ShardMap
+
+
+class TestHashPolicy:
+    def test_covers_all_shards(self):
+        m = ShardMap(8, 1 << 20, policy="hash")
+        owners = m.shards_of(np.arange(10_000, dtype=np.int64))
+        assert set(np.unique(owners)) == set(range(8))
+
+    def test_roughly_balanced(self):
+        m = ShardMap(4, 1 << 20, policy="hash")
+        owners = m.shards_of(np.arange(40_000, dtype=np.int64))
+        counts = np.bincount(owners, minlength=4)
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_sequential_keys_spread(self):
+        # The point of hashing: adjacent keys do not share a shard run.
+        m = ShardMap(4, 1 << 20, policy="hash")
+        owners = m.shards_of(np.arange(64, dtype=np.int64))
+        assert len(set(owners[:8].tolist())) > 1
+
+    def test_scalar_matches_vector(self):
+        m = ShardMap(5, 1 << 16, policy="hash")
+        keys = np.array([0, 1, 17, 4096, (1 << 16) - 1], dtype=np.int64)
+        assert [m.shard_of(int(k)) for k in keys] == m.shards_of(keys).tolist()
+
+
+class TestRangePolicy:
+    def test_monotone_in_key(self):
+        m = ShardMap(4, 1024, policy="range")
+        owners = m.shards_of(np.arange(1024, dtype=np.int64))
+        assert (np.diff(owners) >= 0).all()
+        assert set(np.unique(owners)) == set(range(4))
+
+    def test_equal_width_slices(self):
+        m = ShardMap(4, 1024, policy="range")
+        assert m.shard_of(0) == 0
+        assert m.shard_of(255) == 0
+        assert m.shard_of(256) == 1
+        assert m.shard_of(1023) == 3
+
+
+class TestPartition:
+    def test_membership_and_order(self):
+        m = ShardMap(3, 1 << 12, policy="hash")
+        keys = np.arange(0, 1 << 12, 7, dtype=np.int64)
+        parts = m.partition(keys)
+        assert len(parts) == 3
+        assert sum(len(p) for p in parts) == len(keys)
+        for s, part in enumerate(parts):
+            assert (m.shards_of(part) == s).all()
+            assert (np.diff(part) > 0).all()  # input order preserved
+
+
+class TestValidation:
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError):
+            ShardMap(0, 100)
+        with pytest.raises(ValueError):
+            ShardMap(2, 0)
+        with pytest.raises(ValueError):
+            ShardMap(2, 100, policy="rendezvous")
+        assert "hash" in SHARD_POLICIES and "range" in SHARD_POLICIES
+
+    def test_out_of_universe_rejected(self):
+        m = ShardMap(2, 100)
+        with pytest.raises(ValueError):
+            m.shard_of(100)
+        with pytest.raises(ValueError):
+            m.shard_of(-1)
+        with pytest.raises(ValueError):
+            m.shards_of(np.array([5, 100], dtype=np.int64))
+
+    def test_describe_stable(self):
+        assert ShardMap(2, 100).describe() == {
+            "n_shards": 2,
+            "universe": 100,
+            "policy": "hash",
+        }

@@ -304,3 +304,54 @@ class TestRunnerResilience:
         )
         assert runner._policy is None
         assert runner.run([[1.0, 1.0]]) == [2.0]
+
+
+class TestPoolOccupancy:
+    """Satellite: free_slots/first_free/next_available_at accessors.
+
+    The serving layer asks the pool "who is idle at time t?" instead of
+    poking Resource.available_at directly; these pin the accessor
+    semantics it relies on.
+    """
+
+    def test_free_slots_counts_idle_resources(self):
+        pool = ResourcePool(3)
+        assert pool.free_slots(0.0) == 3
+        pool[0].acquire(0.0, 5.0)
+        pool[1].acquire(0.0, 2.0)
+        assert pool.free_slots(0.0) == 1
+        assert pool.free_slots(2.0) == 2
+        assert pool.free_slots(5.0) == 3
+
+    def test_first_free_scans_in_index_order(self):
+        pool = ResourcePool(3)
+        pool[0].acquire(0.0, 4.0)
+        assert pool.first_free(0.0) == 1
+        assert pool.first_free(0.0, exclude=1) == 2
+        pool[1].acquire(0.0, 4.0)
+        pool[2].acquire(0.0, 4.0)
+        assert pool.first_free(0.0) is None
+        assert pool.first_free(4.0) == 0
+
+    def test_is_free_matches_acquire_semantics(self):
+        r = Resource()
+        assert r.is_free(0.0)
+        r.acquire(0.0, 3.0)
+        assert not r.is_free(2.999)
+        assert r.is_free(3.0)  # a job arriving exactly at free time starts now
+
+    def test_next_available_at(self):
+        pool = ResourcePool(2)
+        assert pool.next_available_at() == 0.0
+        pool[0].acquire(0.0, 3.0)
+        pool[1].acquire(0.0, 1.0)
+        assert pool.next_available_at() == 1.0
+
+    def test_accessors_do_not_reserve(self):
+        pool = ResourcePool(1)
+        pool.free_slots(0.0)
+        pool.first_free(0.0)
+        pool.next_available_at()
+        # Purely observational: the slot is still free, so a job arriving
+        # at 0 starts immediately and completes at its bare duration.
+        assert pool[0].acquire(0.0, 1.0) == 1.0

@@ -122,3 +122,78 @@ class TestStackResilience:
         dev = NullDevice()
         stack = StorageStack(dev, cache_bytes=1 << 20)
         assert stack.device is dev
+
+
+class TestReadMany:
+    """Satellite contract: read_many == a loop of get, bit for bit.
+
+    On position-independent devices (constant-latency, affine without
+    sequential detection) the batched path must reproduce the serial
+    loop's results, IO seconds, and hit/miss accounting exactly — batching
+    is an IO *schedule* change, never a semantic one.
+    """
+
+    def _affine_stack(self, cache_bytes):
+        from repro.models.affine import AffineModel
+        from repro.storage.ideal import AffineDevice
+
+        dev = AffineDevice(AffineModel(1e-6, setup_seconds=1e-3))
+        return StorageStack(dev, cache_bytes, alignment=1), dev
+
+    def _populate(self, stack, n=24, nbytes=100):
+        for i in range(n):
+            # Mixed sizes: runs must split when the size changes.
+            stack.create(i, f"obj{i}", nbytes if i % 3 else 2 * nbytes)
+        stack.flush()
+        stack.drop_cache()
+
+    def test_matches_serial_loop(self):
+        ids = [0, 5, 3, 5, 7, 1, 2, 2, 9, 11]
+        a, _ = self._affine_stack(cache_bytes=10_000)
+        self._populate(a)
+        serial = [a.get(i) for i in ids]
+        serial_io = a.io_seconds
+        serial_stats = (a.cache.stats.hits, a.cache.stats.misses)
+
+        b, _ = self._affine_stack(cache_bytes=10_000)
+        self._populate(b)
+        batched = b.read_many(ids)
+        assert batched == serial
+        assert b.io_seconds == pytest.approx(serial_io)
+        assert (b.cache.stats.hits, b.cache.stats.misses) == serial_stats
+
+    def test_matches_under_eviction_pressure(self):
+        # Cache far smaller than the batch: get_many must evict mid-batch
+        # exactly as the serial loop would.
+        ids = list(range(24)) + [0, 1, 2]
+        a, _ = self._affine_stack(cache_bytes=450)
+        self._populate(a)
+        serial = [a.get(i) for i in ids]
+        serial_io = a.io_seconds
+
+        b, _ = self._affine_stack(cache_bytes=450)
+        self._populate(b)
+        assert b.read_many(ids) == serial
+        assert b.io_seconds == pytest.approx(serial_io)
+
+    def test_duplicate_ids_count_like_serial(self):
+        # Second touch of an id within one batch is a hit, as in the loop.
+        a, _ = self._affine_stack(cache_bytes=10_000)
+        self._populate(a, n=4)
+        a.read_many([0, 0, 1, 1])
+        assert a.cache.stats.hits == 2
+        assert a.cache.stats.misses == 2
+
+    def test_empty_and_unknown(self):
+        stack, _ = make()
+        assert stack.read_many([]) == []
+        with pytest.raises(CacheError):
+            stack.read_many(["ghost"])
+
+    def test_all_resident_no_io(self):
+        stack, dev = make(cache_bytes=1000)
+        stack.create("a", 1, 100)
+        stack.create("b", 2, 100)
+        before = stack.io_seconds
+        assert stack.read_many(["a", "b", "a"]) == [1, 2, 1]
+        assert stack.io_seconds == before

@@ -218,3 +218,46 @@ class TestIOAccounting:
         tree.insert(2, 2)
         tree.delete(1)
         assert tree.user_bytes_modified == 3 * tree.config.fmt.entry_bytes
+
+
+class TestGetMany:
+    """Batched descent: same answers as get, one batched read per level."""
+
+    def _loaded(self, n=500, **kw):
+        tree, stack = make_tree(**kw)
+        pairs = [(i * 7, f"v{i}") for i in range(n)]
+        tree.bulk_load(pairs)
+        return tree, stack, pairs
+
+    def test_matches_pointwise_get(self):
+        tree, _, pairs = self._loaded()
+        keys = [k for k, _ in pairs[::17]] + [1, 2, 3, 10**9]
+        assert tree.get_many(keys) == [tree.get(k) for k in keys]
+
+    def test_duplicates_and_empty(self):
+        tree, _, pairs = self._loaded(n=50)
+        k = pairs[3][0]
+        assert tree.get_many([k, k, k]) == [tree.get(k)] * 3
+        assert tree.get_many([]) == []
+
+    def test_batched_descent_costs_no_more_io(self):
+        from repro.models.affine import AffineModel
+        from repro.storage.ideal import AffineDevice
+
+        def build():
+            dev = AffineDevice(AffineModel(1e-6, setup_seconds=1e-3))
+            stack = StorageStack(dev, cache_bytes=8 << 10)
+            tree = BTree(stack, BTreeConfig(node_bytes=1024))
+            tree.bulk_load([(i * 3, i) for i in range(3000)])
+            stack.drop_cache()
+            return tree, stack
+
+        keys = [i * 3 for i in range(0, 3000, 91)]
+        serial_tree, serial_stack = build()
+        serial = [serial_tree.get(k) for k in keys]
+        serial_io = serial_stack.io_seconds
+
+        batched_tree, batched_stack = build()
+        assert batched_tree.get_many(keys) == serial
+        # Shared ancestors dedup: the batch can only save IO, never add.
+        assert batched_stack.io_seconds <= serial_io + 1e-12

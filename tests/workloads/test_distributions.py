@@ -47,7 +47,7 @@ class TestZipf:
         with pytest.raises(ConfigurationError):
             ZipfKeys(1000, theta=1.0)
 
-    @pytest.mark.parametrize("universe", [3, 1000, 100_003, 1 << 16])
+    @pytest.mark.parametrize("universe", [3, 1000, 100_003, 1 << 16, 1_000_003])
     def test_scatter_bijective(self, universe):
         # Regression: the old golden-ratio multiply-then-mod scatter is only
         # collision-free for power-of-two universes; for e.g. universe=1000
