@@ -1,6 +1,6 @@
 # Convenience targets; see README.md.
 
-.PHONY: install test lint bench experiments examples serve-quick all
+.PHONY: install test lint bench engine-bench experiments examples serve-quick all
 
 install:
 	pip install -e .
@@ -14,6 +14,10 @@ lint:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Vectorized-engine gates: batch/serial byte-identity + speedup (smoke).
+engine-bench:
+	PYTHONPATH=src python benchmarks/bench_engine_vector.py --smoke
 
 experiments:
 	python -m repro.experiments all

@@ -6,6 +6,14 @@ Two gates on the runner subsystem rather than on the paper's quantities:
    same results at any job count, and with >= 2 cores the parallel run is
    no slower than the serial one (no absolute wall-clock thresholds: CI
    hardware varies, correctness and relative ordering do not).
+
+   *cpus caveat*: on a single-core host a process pool cannot win, so the
+   "no slower" claim is **skipped**, not vacuously passed — the record
+   carries ``parallel_gate_checked: false`` so readers of the JSON history
+   know which entries actually exercised the gate.  Single-core speed is
+   instead covered by the vectorization gate in
+   ``benchmarks/bench_engine_vector.py``, which batches IO inside one
+   process and gates the E6 sweep at ``jobs=1``.
 2. **The cache works** — a warm rerun of the same sweeps costs < 10% of
    the cold run and returns identical results.
 
@@ -108,9 +116,14 @@ def _measure(config, tmp_cache_dir):
     cache = ResultCache(tmp_cache_dir)
     cold_results, cold_s = _run_sweeps(config, jobs=1, cache=cache)
     warm_results, warm_s = _run_sweeps(config, jobs=1, cache=cache)
+    cpus = os.cpu_count() or 1
     return {
         "jobs": jobs,
-        "cpus": os.cpu_count() or 1,
+        "cpus": cpus,
+        # False on single-core hosts: the parallel no-lose gate below is
+        # skipped there (a pool cannot beat serial on one core), and the
+        # record says so explicitly rather than passing vacuously.
+        "parallel_gate_checked": cpus >= 2,
         "serial_s": serial_s,
         "parallel_s": parallel_s,
         "cold_s": cold_s,
@@ -130,7 +143,7 @@ def _check(m):
     assert m["warm_fraction"] < 0.10, (
         f"warm rerun cost {m['warm_fraction']:.1%} of cold (>= 10%)"
     )
-    if m["cpus"] >= 2:
+    if m["parallel_gate_checked"]:
         # Relative gate only: the pool must not lose to the serial path.
         assert m["parallel_s"] <= m["serial_s"], (
             f"parallel {m['parallel_s']:.2f}s slower than serial {m['serial_s']:.2f}s"
@@ -141,14 +154,16 @@ def bench_runner_speedup(benchmark, show, tmp_path):
     m = benchmark.pedantic(
         lambda: _measure(FULL, tmp_path / "cache"), rounds=1, iterations=1
     )
+    gate_note = "" if m["parallel_gate_checked"] else " [parallel gate skipped: 1 cpu]"
     show(
         f"E3+E5 sweeps: serial {m['serial_s']:.2f}s, "
         f"jobs={m['jobs']} {m['parallel_s']:.2f}s "
-        f"({m['speedup']:.2f}x on {m['cpus']} cpus); "
+        f"({m['speedup']:.2f}x on {m['cpus']} cpus){gate_note}; "
         f"cold {m['cold_s']:.2f}s, warm {m['warm_s']:.2f}s "
         f"({m['warm_fraction']:.1%})"
     )
-    for key in ("jobs", "cpus", "serial_s", "parallel_s", "cold_s", "warm_s"):
+    for key in ("jobs", "cpus", "parallel_gate_checked", "serial_s",
+                "parallel_s", "cold_s", "warm_s"):
         benchmark.extra_info[key] = round(m[key], 3) if isinstance(m[key], float) else m[key]
     benchmark.extra_info["speedup"] = round(m["speedup"], 2)
     benchmark.extra_info["warm_fraction"] = round(m["warm_fraction"], 4)

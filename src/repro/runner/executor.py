@@ -24,6 +24,8 @@ never cached — a fixed kernel recomputes them.
 
 from __future__ import annotations
 
+import contextlib
+import gc
 import multiprocessing
 import os
 import time
@@ -96,6 +98,28 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
+@contextlib.contextmanager
+def _gc_paused():
+    """Suspend cyclic garbage collection for the duration of a kernel.
+
+    Kernels allocate millions of small objects (load tuples, tree nodes,
+    messages); the cyclic collector re-scans that long-lived heap on every
+    threshold crossing and was costing more wall time than the simulation
+    arithmetic itself.  Reference counting still reclaims everything the
+    kernels free (their structures are acyclic apart from the caches' LRU
+    sentinel rings, which live exactly as long as the kernel run), so
+    pausing the collector changes no observable result — collection
+    resumes, and the deferred scan happens, as soon as the kernel returns.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
 def _run_point(
     payload: tuple[int, str, dict[str, Any], bool, bool],
 ) -> tuple[int, tuple[Any, ...]]:
@@ -111,7 +135,8 @@ def _run_point(
     idx, kernel_name, params, timed, guarded = payload
     start = time.perf_counter() if timed else 0.0
     try:
-        value = get_kernel(kernel_name)(**params)
+        with _gc_paused():
+            value = get_kernel(kernel_name)(**params)
     except Exception as exc:
         if not guarded:
             raise

@@ -152,8 +152,7 @@ def betree_nodesize_point(
     # then measure over enough further inserts to cover flush cascades —
     # Bε insert cost only exists as an amortized quantity.
     buffer_msgs = config.buffer_budget_bytes // config.fmt.message_bytes
-    for key, value in insert_stream(universe, min(buffer_msgs, max_inserts), seed=seed + 7):
-        tree.insert(key, value)
+    tree.put_many(insert_stream(universe, min(buffer_msgs, max_inserts), seed=seed + 7))
     n_inserts = min(max_inserts, max(3000, int(inserts_per_buffer_fill * buffer_msgs)))
     times = measure_tree_ops(
         tree,

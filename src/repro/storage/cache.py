@@ -207,6 +207,54 @@ class BufferCache:
         self._evict_until_fits()
         return entry.obj
 
+    def access(
+        self, node_id: Hashable, nbytes: int | None = None, dirty: bool = False
+    ) -> Any:
+        """Combined touch: fault in if evicted, optionally resize and dirty.
+
+        One index lookup replacing the ``contains`` → :meth:`get` →
+        :meth:`extent_of` → :meth:`update_extent` → :meth:`mark_dirty`
+        sequence the write paths used to issue per component, with
+        *identical* accounting at every step:
+
+        * a resident entry is **not** counted as a hit and not LRU-touched
+          (matching ``contains``, which has no LRU effect);
+        * a non-resident entry takes :meth:`get`'s miss path exactly (miss
+          counter, device read, MRU admission, eviction);
+        * ``nbytes`` (already rounded by the caller) resizes in place when
+          it differs from the registered size, keeping the registered
+          offset — component slots are fixed — and marking dirty, exactly
+          like :meth:`update_extent`;
+        * ``dirty=True`` then applies :meth:`mark_dirty` (dirty bit + LRU
+          touch).
+        """
+        entry = self._index.get(node_id)
+        if entry is None:
+            raise CacheError(f"unknown node id {node_id!r}")
+        if not entry.resident:
+            self.stats.misses += 1
+            if OBS.enabled:
+                OBS.counter("cache.misses").inc()
+            self.io_seconds += self.device.read(entry.offset, entry.nbytes)
+            self._link_mru(entry)
+            self.cached_bytes += entry.nbytes
+            self._evict_until_fits()
+        if nbytes is not None and nbytes != entry.nbytes:
+            if nbytes <= 0:
+                raise CacheError(f"node size must be positive, got {nbytes}")
+            self.cached_bytes += nbytes - entry.nbytes
+            entry.nbytes = nbytes
+            entry.dirty = True
+            if entry.next is not self._root:
+                self._touch(entry)
+            if self.cached_bytes > self.capacity_bytes:
+                self._evict_until_fits()
+        if dirty:
+            entry.dirty = True
+            if entry.next is not self._root:
+                self._touch(entry)
+        return entry.obj
+
     def get_many(self, node_ids: "Sequence[Hashable]") -> list[Any]:
         """Batched read-through fetch; objects in input order.
 
@@ -321,6 +369,42 @@ class BufferCache:
             self.cached_bytes += nbytes
         self._evict_until_fits()
 
+    def readmit_clean(self, items: "Sequence[tuple[Hashable, int, int]]") -> None:
+        """Admit each ``(node_id, offset, nbytes)`` as resident and clean.
+
+        Equivalent to ``admit(id, None, offset, nbytes, dirty=False)``
+        followed by ``mark_clean(id)`` per item — the whole-node rewrite
+        pattern, where the caller has already charged one batched device
+        write for every component — fused to one index lookup per item.
+        Evictions interleave exactly as in the serial sequence.
+        """
+        index = self._index
+        for node_id, offset, nbytes in items:
+            if nbytes <= 0:
+                raise CacheError(f"node size must be positive, got {nbytes}")
+            entry = index.get(node_id)
+            if entry is not None and entry.resident:
+                self.cached_bytes += nbytes - entry.nbytes
+                entry.obj = None
+                entry.offset = offset
+                entry.nbytes = nbytes
+                entry.dirty = False
+                if entry.next is not self._root:
+                    self._touch(entry)
+            else:
+                if entry is None:
+                    entry = _Entry(node_id, None, offset, nbytes, dirty=False)
+                    index[node_id] = entry
+                else:
+                    entry.obj = None
+                    entry.offset = offset
+                    entry.nbytes = nbytes
+                    entry.dirty = False
+                self._link_mru(entry)
+                self.cached_bytes += nbytes
+            if self.cached_bytes > self.capacity_bytes:
+                self._evict_until_fits()
+
     def mark_dirty(self, node_id: Hashable) -> None:
         """Record that a resident node's contents changed."""
         entry = self._index.get(node_id)
@@ -380,21 +464,59 @@ class BufferCache:
             raise CacheError(f"unknown node id {node_id!r}")
         return entry.offset, entry.nbytes
 
+    def write_many(self, node_ids: "Sequence[Hashable]") -> float:
+        """Write back the listed nodes' dirty contents, in order; seconds spent.
+
+        The write-side counterpart of :meth:`get_many`: clean or
+        non-resident entries are skipped (their bytes are already on disk),
+        and runs of consecutive dirty entries with equal extent size are
+        charged through the device's vectorized
+        :meth:`~repro.storage.device.BlockDevice.write_batch`.  Because
+        ``write_batch`` is bit-identical to a serial loop of ``write`` on
+        every device model, the total — and the device's clock, stats and
+        RNG stream — match a serial ``device.write`` per dirty node
+        exactly.
+        """
+        spent = 0.0
+        run: list[_Entry] = []
+        run_nbytes = 0
+
+        def flush_run() -> None:
+            nonlocal spent, run_nbytes
+            if not run:
+                return
+            offsets = [e.offset for e in run]
+            for dt in self.device.write_batch(offsets, run_nbytes):
+                spent += dt
+            for e in run:
+                e.dirty = False
+            run.clear()
+            run_nbytes = 0
+
+        for node_id in node_ids:
+            entry = self._index.get(node_id)
+            if entry is None:
+                raise CacheError(f"unknown node id {node_id!r}")
+            if not entry.resident or not entry.dirty:
+                continue
+            if run and entry.nbytes != run_nbytes:
+                flush_run()
+            run.append(entry)
+            run_nbytes = entry.nbytes
+        flush_run()
+        self.io_seconds += spent
+        return spent
+
     def flush(self) -> float:
         """Write back every dirty resident node; returns device seconds.
 
         Write-back order is LRU-first — the same order the previous
         ``OrderedDict`` implementation flushed in, which matters because
-        write order drives seek distances on mechanical devices.
+        write order drives seek distances on mechanical devices.  Runs of
+        equal-size dirty nodes go through the batched write path (see
+        :meth:`write_many`), which is bit-identical to the serial loop.
         """
-        spent = 0.0
-        for entry in self._resident_lru_order():
-            if entry.dirty:
-                dt = self.device.write(entry.offset, entry.nbytes)
-                spent += dt
-                entry.dirty = False
-        self.io_seconds += spent
-        return spent
+        return self.write_many([e.node_id for e in self._resident_lru_order()])
 
     def drop_clean(self) -> None:
         """Evict every unpinned resident node (dirty ones are written back).

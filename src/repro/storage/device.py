@@ -244,6 +244,18 @@ class BlockDevice(ABC):
             self._check(offset, nbytes)
         return [self.read(offset, nbytes) for offset in offsets]
 
+    def write_batch(self, offsets: "Sequence[int]", nbytes: int) -> list[float]:
+        """Serially write ``nbytes`` at each offset; per-IO elapsed seconds.
+
+        The write-side twin of :meth:`read_batch`: bit-identical to a
+        serial loop of :meth:`write` — same clock advance, counters,
+        trace, and RNG stream — with offsets validated up front so an
+        invalid batch raises before any IO is charged.
+        """
+        for offset in offsets:
+            self._check(offset, nbytes)
+        return [self.write(offset, nbytes) for offset in offsets]
+
     def describe(self) -> dict[str, object]:
         """Stable, JSON-able identity of this device's timing behavior.
 

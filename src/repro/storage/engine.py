@@ -11,6 +11,16 @@ Two primitives power every timing simulation in this package:
   issue-time order (earliest first), which with forward-only Resource
   reservations yields a consistent FCFS discrete-event schedule.
 
+:class:`ResourcePool` stores its timelines as preallocated numpy arrays
+(``available_at`` / ``busy_seconds``, one float64 per slot) so occupancy
+queries (``free_slots``, ``first_free``, ``next_available_at``) are single
+array operations instead of Python loops, and batch services can update
+many slots without per-slot attribute traffic.  ``pool[i]`` still returns
+a scalar :class:`Resource`-compatible view, so existing per-slot callers
+(the serve layer's hedging pokes, the SSD's die/channel chains) are
+unchanged.  All scalar arithmetic runs on float64 values, so timings are
+bit-identical to the previous list-of-objects layout.
+
 This replaces the paper's "spawn p OS threads" methodology: the threads
 exist only to keep ``p`` IOs outstanding, and a closed-loop simulation does
 the same thing deterministically (see DESIGN.md section 2).
@@ -21,6 +31,8 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Iterator, Sequence
+
+import numpy as np
 
 from repro.errors import ConfigurationError, TransientIOError
 from repro.obs import OBS
@@ -69,35 +81,122 @@ class Resource:
         self.busy_seconds = 0.0
 
 
+class _PoolSlot:
+    """Scalar :class:`Resource`-compatible view of one pool slot.
+
+    Reads and writes go straight to the pool's arrays; the float64
+    arithmetic is identical to a standalone :class:`Resource`.
+    """
+
+    __slots__ = ("_pool", "_index")
+
+    def __init__(self, pool: "ResourcePool", index: int) -> None:
+        self._pool = pool
+        self._index = index
+
+    @property
+    def available_at(self) -> float:
+        return float(self._pool._available_at[self._index])
+
+    @available_at.setter
+    def available_at(self, value: float) -> None:
+        self._pool._available_at[self._index] = value
+
+    @property
+    def busy_seconds(self) -> float:
+        return float(self._pool._busy_seconds[self._index])
+
+    @busy_seconds.setter
+    def busy_seconds(self, value: float) -> None:
+        self._pool._busy_seconds[self._index] = value
+
+    def acquire(self, at: float, duration: float) -> float:
+        return self._pool.acquire(self._index, at, duration)
+
+    def peek_start(self, at: float) -> float:
+        avail = self._pool._available_at[self._index]
+        return float(avail) if avail > at else at
+
+    def is_free(self, at: float) -> bool:
+        return bool(self._pool._available_at[self._index] <= at)
+
+    def reset(self) -> None:
+        self._pool._available_at[self._index] = 0.0
+        self._pool._busy_seconds[self._index] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"_PoolSlot(index={self._index}, available_at={self.available_at}, "
+            f"busy_seconds={self.busy_seconds})"
+        )
+
+
 class ResourcePool:
-    """A fixed array of :class:`Resource` objects (e.g. all dies of an SSD)."""
+    """A fixed array of FIFO timelines (e.g. all dies of an SSD).
+
+    Timelines live in two preallocated float64 arrays; ``pool[i]`` returns
+    a scalar view object with the :class:`Resource` interface.  Occupancy
+    queries are array reductions, so they cost O(1) Python operations
+    regardless of pool size.
+    """
 
     def __init__(self, count: int) -> None:
         if count <= 0:
             raise ConfigurationError(f"resource count must be positive, got {count}")
-        self._resources = [Resource() for _ in range(count)]
+        self._available_at = np.zeros(count, dtype=np.float64)
+        self._busy_seconds = np.zeros(count, dtype=np.float64)
+        self._slots = [_PoolSlot(self, i) for i in range(count)]
 
     def __len__(self) -> int:
-        return len(self._resources)
+        return len(self._slots)
 
-    def __getitem__(self, index: int) -> Resource:
-        return self._resources[index]
+    def __getitem__(self, index: int) -> _PoolSlot:
+        return self._slots[index]
+
+    def acquire(self, index: int, at: float, duration: float) -> float:
+        """Serve a job on slot ``index``; same semantics as Resource.acquire."""
+        if duration < 0:
+            raise ConfigurationError(f"duration must be non-negative, got {duration}")
+        avail = self._available_at
+        start = avail[index]
+        if at > start:
+            start = at
+        end = start + duration
+        avail[index] = end
+        self._busy_seconds[index] += duration
+        return float(end)
 
     def reset(self) -> None:
-        for r in self._resources:
-            r.reset()
+        self._available_at.fill(0.0)
+        self._busy_seconds.fill(0.0)
+
+    # -- array access for vectorized device models ---------------------------
+
+    @property
+    def available_at_array(self) -> np.ndarray:
+        """The raw ``available_at`` timeline array (mutated by batch services)."""
+        return self._available_at
+
+    @property
+    def busy_seconds_array(self) -> np.ndarray:
+        """The raw ``busy_seconds`` accounting array."""
+        return self._busy_seconds
 
     @property
     def busy_seconds(self) -> float:
-        """Total busy time summed over the pool."""
-        return sum(r.busy_seconds for r in self._resources)
+        """Total busy time summed over the pool.
+
+        Summed left-to-right exactly like the previous per-object loop
+        (``math.fsum``/pairwise would round differently).
+        """
+        return sum(self._busy_seconds.tolist())
 
     @property
     def max_available_at(self) -> float:
         """The time the last resource in the pool frees up."""
-        return max(r.available_at for r in self._resources)
+        return float(self._available_at.max())
 
-    # -- occupancy queries (the public alternative to poking _resources) -----
+    # -- occupancy queries (the public alternative to poking _slots) -----
 
     def free_slots(self, at: float = 0.0) -> int:
         """How many resources would serve a job arriving at ``at`` immediately.
@@ -105,9 +204,9 @@ class ResourcePool:
         This is the pool's *spare capacity* at an instant — the quantity
         hedging policies budget against (a duplicate IO is free only when
         a slot would otherwise idle).  Callers must use this instead of
-        reaching into the pool's private resource list.
+        reaching into the pool's private arrays.
         """
-        return sum(1 for r in self._resources if r.available_at <= at)
+        return int(np.count_nonzero(self._available_at <= at))
 
     def first_free(self, at: float, *, exclude: int | None = None) -> int | None:
         """Lowest index of a resource free at ``at``, or ``None`` if all busy.
@@ -115,14 +214,15 @@ class ResourcePool:
         ``exclude`` skips one index — a hedger looking for a *second*
         server must not pick the one already serving the primary.
         """
-        for i, r in enumerate(self._resources):
-            if i != exclude and r.available_at <= at:
+        free = np.flatnonzero(self._available_at <= at)
+        for i in free.tolist():
+            if i != exclude:
                 return i
         return None
 
     def next_available_at(self) -> float:
         """The earliest time any resource in the pool frees up."""
-        return min(r.available_at for r in self._resources)
+        return float(self._available_at.min())
 
 
 class ClosedLoopRunner:
@@ -133,6 +233,15 @@ class ClosedLoopRunner:
     service:
         ``service(request, issue_time) -> completion_time``.  Must only make
         forward-in-time reservations (all provided devices do).
+    service_batch:
+        Optional ``service_batch(requests, issue_time) -> [completion_time]``
+        servicing a *run* of requests that share one issue time, processed
+        in list order.  When given (and no policy is attached and
+        observability is off), the heap schedule dispatches each run of
+        tied events with one call instead of one Python call per request —
+        the event order, and therefore every timing, is identical to the
+        scalar path because heap ties pop in client-index order, which is
+        exactly the batch's list order.
     policy:
         Optional :class:`~repro.faults.policy.ResiliencePolicy`.  With one
         attached, a service call that raises
@@ -149,8 +258,10 @@ class ClosedLoopRunner:
         *,
         single_server: bool = False,
         policy: "ResiliencePolicy | None" = None,
+        service_batch: "Callable[[list, float], Sequence[float]] | None" = None,
     ) -> None:
         self._service = service
+        self._service_batch = service_batch
         self._single_server = bool(single_server)
         self._policy = None if policy is None or policy.is_noop else policy
         self.retries = 0
@@ -222,6 +333,14 @@ class ClosedLoopRunner:
         self, client_streams: Sequence[Iterator[object]], start_time: float
     ) -> list[float]:
         service = self._resolve_service()
+        # Batch dispatch changes neither event order nor arithmetic, but it
+        # would change the per-request OBS gauge sequence, so the scalar
+        # path stays authoritative whenever observability is recording.
+        service_batch = (
+            self._service_batch
+            if self._policy is None and not OBS.enabled
+            else None
+        )
         iterators = [iter(s) for s in client_streams]
         finish = [start_time] * len(iterators)
         heap: list[tuple[float, int]] = []
@@ -229,6 +348,31 @@ class ClosedLoopRunner:
             heapq.heappush(heap, (start_time, idx))
         while heap:
             issue_time, idx = heapq.heappop(heap)
+            if service_batch is not None and heap and heap[0][0] == issue_time:
+                # A run of tied events: pop them all (ties pop in client
+                # index order) and service them with one batched call.
+                batch = [idx]
+                while heap and heap[0][0] == issue_time:
+                    batch.append(heapq.heappop(heap)[1])
+                live: list[int] = []
+                requests: list[object] = []
+                for i in batch:
+                    try:
+                        requests.append(next(iterators[i]))
+                        live.append(i)
+                    except StopIteration:
+                        finish[i] = issue_time
+                if not requests:
+                    continue
+                dones = service_batch(requests, issue_time)
+                for i, done in zip(live, dones):
+                    if done < issue_time:
+                        raise ConfigurationError(
+                            f"service completed before issue ({done} < {issue_time}); "
+                            "service functions must be forward-in-time"
+                        )
+                    heapq.heappush(heap, (done, i))
+                continue
             try:
                 request = next(iterators[idx])
             except StopIteration:

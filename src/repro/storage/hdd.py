@@ -209,6 +209,62 @@ class SimulatedHDD(BlockDevice):
         self.head_position = offs[-1] + nbytes
         return out
 
+    def write_batch(self, offsets, nbytes: int) -> list[float]:
+        """Vectorized homogeneous write batch; twin of :meth:`read_batch`.
+
+        Writes pay the same mechanical costs as reads on a hard disk, so
+        the timing math is identical — only the counters and trace records
+        differ.  The RNG stream position afterwards matches a serial loop
+        of :meth:`BlockDevice.write` exactly.
+        """
+        offs = [int(o) for o in offsets]
+        if not offs:
+            return []
+        for off in offs:
+            self._check(off, nbytes)
+        g = self.geometry
+        arr = np.asarray(offs, dtype=np.int64)
+        prev = np.empty(len(offs), dtype=np.int64)
+        prev[0] = self.head_position
+        if len(offs) > 1:
+            prev[1:] = arr[:-1] + nbytes
+        if self.sequential_detection:
+            nonseq = arr != prev
+        else:
+            nonseq = np.ones(len(offs), dtype=bool)
+        setup = np.zeros(len(offs), dtype=np.float64)
+        n_nonseq = int(np.count_nonzero(nonseq))
+        if n_nonseq:
+            frac = np.abs(arr[nonseq] - prev[nonseq]) / g.capacity_bytes
+            seek = g.track_to_track_seek_seconds + (
+                g.full_stroke_seek_seconds - g.track_to_track_seek_seconds
+            ) * np.sqrt(frac)
+            rotation = self._rng.uniform(0.0, g.rotation_seconds, size=n_nonseq)
+            setup[nonseq] = seek + rotation
+        transfer = nbytes * g.seconds_per_byte
+        stats = self.stats
+        out: list[float] = []
+        for i, off in enumerate(offs):
+            start = self.clock
+            end = start + float(setup[i]) + transfer
+            elapsed = end - start
+            self.clock = end
+            stats.writes += 1
+            stats.bytes_written += nbytes
+            stats.write_seconds += elapsed
+            if self._trace_enabled:
+                self.trace.append(IORecord("write", off, nbytes, start, end))
+            if self.sampler is not None:
+                self.sampler.record(nbytes, elapsed, "write")
+            if OBS.enabled:
+                OBS.io_event(
+                    type(self).__name__, "write", off, nbytes, start, end,
+                    float(setup[i]),
+                )
+            out.append(elapsed)
+        self.head_position = offs[-1] + nbytes
+        return out
+
     def describe(self) -> dict[str, object]:
         d = super().describe()
         d.update(

@@ -116,6 +116,49 @@ class AffineDevice(BlockDevice):
         self._next_sequential_offset = expected
         return out
 
+    def write_batch(self, offsets, nbytes: int) -> list[float]:
+        """Homogeneous write batch; the write-side twin of :meth:`read_batch`.
+
+        Identical hoisting, with the two candidate costs scaled by
+        ``write_multiplier`` in the same float-operation order as
+        :meth:`_service_write` — results stay bit-identical to a serial
+        loop of :meth:`BlockDevice.write`.
+        """
+        offs = [int(o) for o in offsets]
+        if not offs:
+            return []
+        for off in offs:
+            self._check(off, nbytes)
+        scale = self.write_multiplier
+        transfer = self.model.seconds_per_byte * nbytes
+        cost_nonseq = scale * (self.model.setup_seconds + transfer)
+        cost_seq = scale * (0.0 + transfer)
+        stats = self.stats
+        expected = self._next_sequential_offset
+        out: list[float] = []
+        for off in offs:
+            sequential = self.sequential_detection and off == expected
+            start = self.clock
+            end = start + (cost_seq if sequential else cost_nonseq)
+            elapsed = end - start
+            self.clock = end
+            stats.writes += 1
+            stats.bytes_written += nbytes
+            stats.write_seconds += elapsed
+            if self._trace_enabled:
+                self.trace.append(IORecord("write", off, nbytes, start, end))
+            if self.sampler is not None:
+                self.sampler.record(nbytes, elapsed, "write")
+            if OBS.enabled:
+                OBS.io_event(
+                    type(self).__name__, "write", off, nbytes, start, end,
+                    0.0 if sequential else scale * self.model.setup_seconds,
+                )
+            out.append(elapsed)
+            expected = off + nbytes
+        self._next_sequential_offset = expected
+        return out
+
     def describe(self) -> dict[str, object]:
         d = super().describe()
         d.update(
@@ -175,6 +218,64 @@ class PDAMDevice(BlockDevice):
 
     def _service_write(self, offset: int, nbytes: int, at: float) -> float:
         return self._serial(nbytes, at)
+
+    def _batch(self, offsets, nbytes: int, kind: str) -> list[float]:
+        """Homogeneous batch with the PDAM step math hoisted out of the loop.
+
+        Every IO of the same size costs the same whole number of steps, so
+        the batch path computes ``cost``/``blocks`` once and runs only the
+        per-IO clock and counter updates — in the same operation order as
+        the serial :meth:`read`/:meth:`write` path, so results and stats
+        stay bit-identical to a serial loop.
+        """
+        offs = [int(o) for o in offsets]
+        if not offs:
+            return []
+        for off in offs:
+            self._check(off, nbytes)
+        steps = self.model.cost(nbytes)
+        isteps = int(steps)
+        blocks = self.model.blocks(nbytes)
+        wasted = isteps * self.parallelism - blocks
+        dt = steps * self.model.step_seconds
+        stats = self.stats
+        reading = kind == "read"
+        out: list[float] = []
+        for off in offs:
+            start = self.clock
+            end = start + dt
+            # elapsed is recomputed as end - start (not reused as dt): the
+            # serial path subtracts, and (start + dt) - start can differ
+            # from dt in the last ulp.
+            elapsed = end - start
+            self.steps_elapsed += isteps
+            self.slots_used += blocks
+            self.slots_wasted += wasted
+            self.clock = end
+            if reading:
+                stats.reads += 1
+                stats.bytes_read += nbytes
+                stats.read_seconds += elapsed
+            else:
+                stats.writes += 1
+                stats.bytes_written += nbytes
+                stats.write_seconds += elapsed
+            if self._trace_enabled:
+                self.trace.append(IORecord(kind, off, nbytes, start, end))
+            if self.sampler is not None:
+                self.sampler.record(nbytes, elapsed, kind)
+            if OBS.enabled:
+                OBS.io_event(type(self).__name__, kind, off, nbytes, start, end, None)
+            out.append(elapsed)
+        return out
+
+    def read_batch(self, offsets, nbytes: int) -> list[float]:
+        """Batched reads; bit-identical to a serial :meth:`read` loop."""
+        return self._batch(offsets, nbytes, "read")
+
+    def write_batch(self, offsets, nbytes: int) -> list[float]:
+        """Batched writes; bit-identical to a serial :meth:`write` loop."""
+        return self._batch(offsets, nbytes, "write")
 
     # -- native step interface ----------------------------------------------
 

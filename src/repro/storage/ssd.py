@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.obs import OBS
-from repro.storage.device import BlockDevice, ReadRequest, WriteRequest
+from repro.storage.device import BlockDevice, IORecord, ReadRequest, WriteRequest
 from repro.storage.engine import ClosedLoopRunner, ResourcePool
 
 
@@ -145,32 +145,75 @@ class SimulatedSSD(BlockDevice):
     # -- timing -------------------------------------------------------------
 
     def _read_completion(self, offset: int, nbytes: int, at: float) -> float:
+        # The die/channel acquire chains, run directly on the pool's
+        # timeline arrays with the slot state held in locals: same float64
+        # operations in the same order as per-slot ``acquire`` calls
+        # (max-then-add, busy accumulated one duration at a time), without
+        # a method dispatch per page.
         g = self.geometry
+        t_read = g.page_read_seconds
+        t_xfer = g.channel_transfer_seconds
+        n_ch = g.channels
+        dies_av = self._dies.available_at_array
+        dies_busy = self._dies.busy_seconds_array
+        ch_av = self._channels.available_at_array
+        ch_busy = self._channels.busy_seconds_array
         done = at
         for die_idx, pages in self._page_plan(offset, nbytes):
-            die = self._dies[die_idx]
-            channel = self._channels[self.channel_of_die(die_idx)]
+            ch_idx = die_idx % n_ch
+            d_av = dies_av[die_idx]
+            d_busy = dies_busy[die_idx]
+            c_av = ch_av[ch_idx]
+            c_busy = ch_busy[ch_idx]
             arrival = at
             for _ in range(pages):
-                read_end = die.acquire(arrival, g.page_read_seconds)
-                xfer_end = channel.acquire(read_end, g.channel_transfer_seconds)
+                read_end = (d_av if d_av > arrival else arrival) + t_read
+                d_av = read_end
+                d_busy = d_busy + t_read
+                xfer_end = (c_av if c_av > read_end else read_end) + t_xfer
+                c_av = xfer_end
+                c_busy = c_busy + t_xfer
                 arrival = read_end  # die proceeds to the next page immediately
-                done = max(done, xfer_end)
-        return done
+                if xfer_end > done:
+                    done = xfer_end
+            dies_av[die_idx] = d_av
+            dies_busy[die_idx] = d_busy
+            ch_av[ch_idx] = c_av
+            ch_busy[ch_idx] = c_busy
+        return float(done)
 
     def _write_completion(self, offset: int, nbytes: int, at: float) -> float:
         g = self.geometry
+        t_prog = g.page_program_seconds
+        t_xfer = g.channel_transfer_seconds
+        n_ch = g.channels
+        dies_av = self._dies.available_at_array
+        dies_busy = self._dies.busy_seconds_array
+        ch_av = self._channels.available_at_array
+        ch_busy = self._channels.busy_seconds_array
         done = at
         for die_idx, pages in self._page_plan(offset, nbytes):
-            die = self._dies[die_idx]
-            channel = self._channels[self.channel_of_die(die_idx)]
+            ch_idx = die_idx % n_ch
+            d_av = dies_av[die_idx]
+            d_busy = dies_busy[die_idx]
+            c_av = ch_av[ch_idx]
+            c_busy = ch_busy[ch_idx]
             arrival = at
             for _ in range(pages):
-                xfer_end = channel.acquire(arrival, g.channel_transfer_seconds)
-                prog_end = die.acquire(xfer_end, g.page_program_seconds)
+                xfer_end = (c_av if c_av > arrival else arrival) + t_xfer
+                c_av = xfer_end
+                c_busy = c_busy + t_xfer
+                prog_end = (d_av if d_av > xfer_end else xfer_end) + t_prog
+                d_av = prog_end
+                d_busy = d_busy + t_prog
                 arrival = xfer_end  # bus frees up for the next page
-                done = max(done, prog_end)
-        return done
+                if prog_end > done:
+                    done = prog_end
+            dies_av[die_idx] = d_av
+            dies_busy[die_idx] = d_busy
+            ch_av[ch_idx] = c_av
+            ch_busy[ch_idx] = c_busy
+        return float(done)
 
     def _service_read(self, offset: int, nbytes: int, at: float) -> float:
         return self._read_completion(offset, nbytes, at)
@@ -208,19 +251,127 @@ class SimulatedSSD(BlockDevice):
             )
         return end
 
+    def service_request_batch(self, requests, at: float) -> list[float]:
+        """Service a run of requests all issued at ``at``, in list order.
+
+        Bit-identical to calling :meth:`service_request` once per request —
+        the same dispatch, counters and clock updates run per request, with
+        the attribute lookups hoisted out of the loop.  This is the
+        ``service_batch`` hook :class:`ClosedLoopRunner` dispatches runs of
+        tied events through.
+        """
+        stats = self.stats
+        check = self._check
+        read_completion = self._read_completion
+        write_completion = self._write_completion
+        clock = self.clock
+        obs_on = OBS.enabled
+        out: list[float] = []
+        append = out.append
+        # The clock runs in a local and is written back on every exit path
+        # (including a mid-batch validation error), so an aborted batch
+        # leaves exactly the state a serial loop's partial progress would.
+        try:
+            for request in requests:
+                if isinstance(request, ReadRequest):
+                    check(request.offset, request.nbytes)
+                    end = read_completion(request.offset, request.nbytes, at)
+                    stats.reads += 1
+                    stats.bytes_read += request.nbytes
+                    stats.read_seconds += end - at
+                    kind = "read"
+                elif isinstance(request, WriteRequest):
+                    check(request.offset, request.nbytes)
+                    end = write_completion(request.offset, request.nbytes, at)
+                    stats.writes += 1
+                    stats.bytes_written += request.nbytes
+                    stats.write_seconds += end - at
+                    kind = "write"
+                else:
+                    raise ConfigurationError(
+                        f"unknown request type: {type(request).__name__}"
+                    )
+                if end > clock:
+                    clock = end
+                if obs_on:
+                    OBS.io_event(
+                        type(self).__name__, kind,
+                        request.offset, request.nbytes, at, end,
+                    )
+                append(end)
+        finally:
+            self.clock = clock
+        return out
+
     def run_closed_loop(self, client_streams) -> float:
         """Run concurrent closed-loop clients; returns the makespan.
 
         This is the simulated analogue of the paper's "spawn p threads, each
         reads 10 GiB" benchmark: each client keeps one request outstanding.
         A single-die device is one FIFO resource end to end, so it takes the
-        runner's heap-free fast path.
+        runner's heap-free fast path; multi-die devices hand runs of tied
+        arrivals to :meth:`service_request_batch` in one dispatch.
         """
         runner = ClosedLoopRunner(
             self.service_request,
             single_server=self.geometry.total_dies == 1,
+            service_batch=self.service_request_batch,
         )
         return runner.run_makespan(client_streams)
+
+    def read_batch(self, offsets, nbytes: int) -> list[float]:
+        """Batched serial reads; bit-identical to a loop of :meth:`read`.
+
+        Offsets are validated up front, then the per-IO bookkeeping runs in
+        one loop frame with the completion method bound once.
+        """
+        offs = [int(o) for o in offsets]
+        for off in offs:
+            self._check(off, nbytes)
+        stats = self.stats
+        completion = self._read_completion
+        out: list[float] = []
+        for off in offs:
+            start = self.clock
+            end = completion(off, nbytes, start)
+            elapsed = end - start
+            self.clock = end
+            stats.reads += 1
+            stats.bytes_read += nbytes
+            stats.read_seconds += elapsed
+            if self._trace_enabled:
+                self.trace.append(IORecord("read", off, nbytes, start, end))
+            if self.sampler is not None:
+                self.sampler.record(nbytes, elapsed, "read")
+            if OBS.enabled:
+                self._obs_io("read", off, nbytes, start, end)
+            out.append(elapsed)
+        return out
+
+    def write_batch(self, offsets, nbytes: int) -> list[float]:
+        """Batched serial writes; bit-identical to a loop of :meth:`write`."""
+        offs = [int(o) for o in offsets]
+        for off in offs:
+            self._check(off, nbytes)
+        stats = self.stats
+        completion = self._write_completion
+        out: list[float] = []
+        for off in offs:
+            start = self.clock
+            end = completion(off, nbytes, start)
+            elapsed = end - start
+            self.clock = end
+            stats.writes += 1
+            stats.bytes_written += nbytes
+            stats.write_seconds += elapsed
+            if self._trace_enabled:
+                self.trace.append(IORecord("write", off, nbytes, start, end))
+            if self.sampler is not None:
+                self.sampler.record(nbytes, elapsed, "write")
+            if OBS.enabled:
+                self._obs_io("write", off, nbytes, start, end)
+            out.append(elapsed)
+        return out
 
     def describe(self) -> dict[str, object]:
         d = super().describe()

@@ -137,6 +137,16 @@ class StorageStack:
             self.cache.get(node_id)
         self.cache.mark_dirty(node_id)
 
+    def write_many(self, node_ids: "Sequence[Hashable]") -> float:
+        """Write back the listed nodes' dirty contents; returns seconds spent.
+
+        The write-side counterpart of :meth:`read_many`: clean or evicted
+        entries are skipped and runs of equal-size dirty nodes go through
+        :meth:`~repro.storage.device.BlockDevice.write_batch`, which is
+        bit-identical to a serial write per node.
+        """
+        return self.cache.write_many(node_ids)
+
     def flush(self) -> float:
         """Write back all dirty nodes; returns simulated seconds spent."""
         return self.cache.flush()

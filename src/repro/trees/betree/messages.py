@@ -12,7 +12,6 @@ exercise the read-modify-write-free code path the paper's Table 3 mentions
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import IntEnum
 from typing import Any
 
@@ -27,14 +26,52 @@ class MessageOp(IntEnum):
     UPSERT = 2   # add delta to the current value (0 base if absent)
 
 
-@dataclass(frozen=True, order=True)
 class Message:
-    """One buffered mutation.  Ordered by sequence number."""
+    """One buffered mutation.  Ordered by sequence number.
 
-    seq: int
-    op: MessageOp
-    key: int
-    value: Any = None
+    A hand-rolled ``__slots__`` class rather than a dataclass: the insert
+    hot path constructs one per operation, and the dataclass ``__init__``
+    (plus frozen-instance ``__setattr__``) tripled the cost.  Comparison,
+    equality, hashing and repr match the former
+    ``@dataclass(frozen=True, order=True)`` field-tuple semantics exactly.
+    """
+
+    __slots__ = ("seq", "op", "key", "value")
+
+    def __init__(self, seq: int, op: MessageOp, key: int, value: Any = None) -> None:
+        self.seq = seq
+        self.op = op
+        self.key = key
+        self.value = value
+
+    def _astuple(self) -> tuple:
+        return (self.seq, self.op, self.key, self.value)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is Message:
+            return self._astuple() == other._astuple()
+        return NotImplemented
+
+    def __lt__(self, other: "Message") -> bool:
+        return self._astuple() < other._astuple()
+
+    def __le__(self, other: "Message") -> bool:
+        return self._astuple() <= other._astuple()
+
+    def __gt__(self, other: "Message") -> bool:
+        return self._astuple() > other._astuple()
+
+    def __ge__(self, other: "Message") -> bool:
+        return self._astuple() >= other._astuple()
+
+    def __hash__(self) -> int:
+        return hash(self._astuple())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Message(seq={self.seq!r}, op={self.op!r}, "
+            f"key={self.key!r}, value={self.value!r})"
+        )
 
 
 def apply_messages(base: Any, present: bool, messages: list[Message]) -> tuple[Any, bool]:

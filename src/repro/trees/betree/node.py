@@ -17,8 +17,12 @@ from __future__ import annotations
 
 from typing import Any, Iterator
 
+from operator import attrgetter
+
 from repro.trees.betree.messages import Message
 from repro.trees.sizing import EntryFormat
+
+_by_seq = attrgetter("seq")
 
 
 class SegmentBuffer:
@@ -32,7 +36,11 @@ class SegmentBuffer:
 
     def add(self, message: Message) -> None:
         """Append one message (arrival order within a key = seq order)."""
-        self.msgs.setdefault(message.key, []).append(message)
+        lst = self.msgs.get(message.key)
+        if lst is None:
+            self.msgs[message.key] = [message]
+        else:
+            lst.append(message)
         self.count += 1
 
     def for_key(self, key: int) -> list[Message]:
@@ -42,7 +50,10 @@ class SegmentBuffer:
     def take_sorted(self) -> list[Message]:
         """Drain the buffer; returns all messages sequence-sorted."""
         out = [m for msgs in self.msgs.values() for m in msgs]
-        out.sort()
+        # Sequence numbers are globally unique, so sorting on seq alone
+        # yields the same order as full Message comparison — without the
+        # tuple-building dataclass __lt__ per comparison.
+        out.sort(key=_by_seq)
         self.msgs = {}
         self.count = 0
         return out
@@ -72,7 +83,10 @@ class SegmentBuffer:
 class BeNode:
     """One Bε-tree node (leaf or internal)."""
 
-    __slots__ = ("node_id", "is_leaf", "keys", "values", "pivots", "children", "segments")
+    __slots__ = (
+        "node_id", "is_leaf", "keys", "values", "pivots", "children",
+        "segments", "buffered_count",
+    )
 
     def __init__(self, node_id: int, is_leaf: bool) -> None:
         self.node_id = node_id
@@ -82,6 +96,10 @@ class BeNode:
         self.pivots: list[int] = []       # len == len(children) - 1
         self.children: list[int] = []
         self.segments: list[SegmentBuffer] = []  # len == len(children)
+        # Running total of messages across all segments.  add_message /
+        # take_segment maintain it incrementally; code that rearranges the
+        # ``segments`` list wholesale (splits) must call recount().
+        self.buffered_count = 0
 
     # -- segment accounting ----------------------------------------------------
 
@@ -90,8 +108,12 @@ class BeNode:
         return self.segments[idx].count
 
     def buffered_messages(self) -> int:
-        """Total messages buffered in this node (O(fanout))."""
-        return sum(s.count for s in self.segments)
+        """Total messages buffered in this node (O(1))."""
+        return self.buffered_count
+
+    def recount(self) -> None:
+        """Recompute ``buffered_count`` after direct ``segments`` surgery."""
+        self.buffered_count = sum(s.count for s in self.segments)
 
     def segment_bytes(self, idx: int, fmt: EntryFormat) -> int:
         """Byte footprint of child ``idx``'s segment."""
@@ -117,9 +139,11 @@ class BeNode:
     def add_message(self, idx: int, message: Message) -> None:
         """Buffer ``message`` for child ``idx``."""
         self.segments[idx].add(message)
+        self.buffered_count += 1
 
     def take_segment(self, idx: int) -> list[Message]:
         """Remove and return child ``idx``'s messages, sequence-sorted."""
+        self.buffered_count -= self.segments[idx].count
         return self.segments[idx].take_sorted()
 
     def messages_for(self, idx: int, key: int) -> list[Message]:

@@ -61,6 +61,7 @@ from typing import Hashable
 
 from repro.errors import CacheError, ConfigurationError
 from repro.storage.stack import StorageStack
+from repro.trees.betree.messages import Message, MessageOp
 from repro.trees.betree.node import BeNode
 from repro.trees.betree.tree import BeTree, BeTreeConfig
 
@@ -91,36 +92,57 @@ class OptimizedBeTree(BeTree):
         self._nodes: dict[int, BeNode] = {}
         self._base: dict[int, int] = {}      # node id -> extent base offset
         self._parts: dict[int, list[Hashable]] = {}  # node id -> component ids
+        self._cache_geometry(config or BeTreeConfig())
         super().__init__(storage, config)
+        # Bound once: the insert hot path calls this per message, and the
+        # storage stack never swaps its cache object out.
+        self._access = storage.cache.access
+
+    def _cache_geometry(self, config: BeTreeConfig) -> None:
+        """Flatten the slot-geometry property chains into plain ints.
+
+        The insert path recomputes segment sizes on every message; chasing
+        ``config.fmt`` properties each time dominated the profile, and every
+        value here is a pure function of the (frozen) config.
+        """
+        fmt = config.fmt
+        self._msg_bytes = fmt.message_bytes
+        self._key_bytes = fmt.key_bytes
+        self._pivot_bytes = fmt.pivot_bytes
+        self._entry_bytes = fmt.entry_bytes
+        self._header_bytes = fmt.node_header_bytes
+        max_children = config.max_children
+        self._pivot_slot = fmt.node_header_bytes + max_children * fmt.pivot_bytes
+        self._seg_slot = max(
+            fmt.message_bytes, (config.node_bytes - self._pivot_slot) // max_children
+        )
+        self._basement = max(1, config.leaf_capacity // config.target_fanout)
+        self._chunk_slot = fmt.node_header_bytes + self._basement * fmt.entry_bytes
+        self._max_children = config.max_children
 
     # -- slot geometry ---------------------------------------------------------
 
     @property
     def segment_cap_bytes(self) -> int:
         """Theorem 9's per-child buffer cap (one fixed slot, ``~B/F``)."""
-        return max(self.config.fmt.message_bytes, self._segment_slot_bytes)
+        return self._seg_slot
 
     @property
     def _pivot_slot_bytes(self) -> int:
-        fmt = self.config.fmt
-        return fmt.node_header_bytes + self.config.max_children * fmt.pivot_bytes
+        return self._pivot_slot
 
     @property
     def _segment_slot_bytes(self) -> int:
-        return max(
-            self.config.fmt.message_bytes,
-            (self.config.node_bytes - self._pivot_slot_bytes) // self.config.max_children,
-        )
+        return self._seg_slot
 
     @property
     def basement_entries(self) -> int:
         """Entries per basement chunk (``~leaf_capacity / F``)."""
-        return max(1, self.config.leaf_capacity // self.config.target_fanout)
+        return self._basement
 
     @property
     def _chunk_slot_bytes(self) -> int:
-        fmt = self.config.fmt
-        return fmt.node_header_bytes + self.basement_entries * fmt.entry_bytes
+        return self._chunk_slot
 
     #: Extent over-allocation factor: leaves can transiently exceed capacity
     #: between a flush application and the split it triggers.
@@ -129,25 +151,161 @@ class OptimizedBeTree(BeTree):
     def _segment_overflow_bytes(self) -> int:
         return self.segment_cap_bytes
 
+    # -- fused insert fast path ------------------------------------------------
+
+    def _put(self, msg) -> None:
+        """One-frame insert hot path; behaviorally identical to the base.
+
+        The base ``_put`` spends most of its time in call overhead:
+        ``_get`` → ``_child_index`` → ``add_message`` → ``_dirty_segment``
+        → ``_segment_read_bytes`` → ``_round_grain`` → ``_touch`` →
+        ``access``, each a Python frame.  This override performs the same
+        dict/bisect/arithmetic steps inline, then defers to the shared
+        flush/split machinery the moment anything overflows — so cache
+        traffic, device IO and tree state match the base path exactly.
+        """
+        if not self.segmented_io:
+            super()._put(msg)
+            return
+        self.user_bytes_modified += self._entry_bytes
+        root = self._nodes[self.root_id]
+        if root.is_leaf:
+            self._apply_to_leaf(None, 0, [msg])
+            return
+        key = msg.key
+        idx = bisect.bisect_right(root.pivots, key)
+        seg = root.segments[idx]
+        lst = seg.msgs.get(key)
+        if lst is None:
+            seg.msgs[key] = [msg]
+        else:
+            lst.append(msg)
+        count = seg.count + 1
+        seg.count = count
+        root.buffered_count += 1
+        # _dirty_segment, inlined: charged bytes = messages (+ child pivots).
+        nbytes = count * self._msg_bytes
+        if self.pivots_in_parent:
+            child = self._nodes[root.children[idx]]
+            if child.is_leaf:
+                per = self._basement
+                nbytes += (-(-len(child.keys) // per) or 1) * self._key_bytes
+            else:
+                nbytes += self._header_bytes + len(child.children) * self._pivot_bytes
+        try:
+            self._access(
+                ("s", root.node_id, idx),
+                ((nbytes + _GRAIN - 1) // _GRAIN) * _GRAIN,
+                dirty=True,
+            )
+        except CacheError:
+            cid = ("s", root.node_id, idx)
+            raise CacheError(f"component {cid!r} was never created") from None
+        budget = self._budget_msgs
+        if budget is None:
+            budget = self._ensure_thresholds()
+        if root.buffered_count > budget or count > self._seg_cap_msgs:
+            self._flush_overflows(root)
+        if len(root.children) > self._max_children:
+            self._split_internal(None, 0)
+
+    def put_many(self, pairs) -> None:
+        """Batched inserts: the fused ``_put`` body run in one loop frame.
+
+        Same contract as the base ``put_many`` — accounting identical to a
+        serial insert loop — with the per-message hot path inlined and its
+        ``self`` lookups hoisted.  The root reference is refreshed only
+        after the paths that can replace it (leaf application, root split).
+        """
+        if not self.segmented_io:
+            super().put_many(pairs)
+            return
+        make = Message
+        op = MessageOp.INSERT
+        access = self._access
+        nodes = self._nodes
+        entry_bytes = self._entry_bytes
+        msg_bytes = self._msg_bytes
+        key_bytes = self._key_bytes
+        pivot_bytes = self._pivot_bytes
+        header_bytes = self._header_bytes
+        basement = self._basement
+        budget = self._budget_msgs
+        seg_cap = self._seg_cap_msgs
+        max_children = self._max_children
+        pivots_in_parent = self.pivots_in_parent
+        bisect_right = bisect.bisect_right
+        seq = self._next_seq
+        root = nodes[self.root_id]
+        for key, value in pairs:
+            seq += 1
+            self._next_seq = seq
+            self.user_bytes_modified += entry_bytes
+            if root.is_leaf:
+                self._apply_to_leaf(None, 0, [make(seq, op, key, value)])
+                root = nodes[self.root_id]
+                seq = self._next_seq
+                continue
+            idx = bisect_right(root.pivots, key)
+            seg = root.segments[idx]
+            lst = seg.msgs.get(key)
+            if lst is None:
+                seg.msgs[key] = [make(seq, op, key, value)]
+            else:
+                lst.append(make(seq, op, key, value))
+            count = seg.count + 1
+            seg.count = count
+            root.buffered_count += 1
+            nbytes = count * msg_bytes
+            if pivots_in_parent:
+                child = nodes[root.children[idx]]
+                if child.is_leaf:
+                    # ceil(len/basement) is >= 1 for non-empty leaves; `or 1`
+                    # covers the transient-empty case without a max() call.
+                    nbytes += (-(-len(child.keys) // basement) or 1) * key_bytes
+                else:
+                    nbytes += header_bytes + len(child.children) * pivot_bytes
+            try:
+                # nbytes >= message_bytes > 0, so the rounded size is always
+                # >= _GRAIN and _round_grain's max() clamp is redundant here.
+                access(
+                    ("s", root.node_id, idx),
+                    ((nbytes + _GRAIN - 1) // _GRAIN) * _GRAIN,
+                    True,
+                )
+            except CacheError:
+                cid = ("s", root.node_id, idx)
+                raise CacheError(f"component {cid!r} was never created") from None
+            if budget is None:
+                budget = self._ensure_thresholds()
+                seg_cap = self._seg_cap_msgs
+            if root.buffered_count > budget or count > seg_cap:
+                self._flush_overflows(root)
+                if len(root.children) > max_children:
+                    self._split_internal(None, 0)
+                root = nodes[self.root_id]
+                seq = self._next_seq
+
     def _chunk_count(self, leaf: BeNode) -> int:
-        return max(1, math.ceil(len(leaf.keys) / self.basement_entries))
+        per = self._basement
+        return max(1, -(-len(leaf.keys) // per))
 
     def _chunk_bytes(self, leaf: BeNode, j: int) -> int:
-        per = self.basement_entries
+        per = self._basement
         n = max(0, min(len(leaf.keys) - j * per, per))
-        return self.config.fmt.node_header_bytes + n * self.config.fmt.entry_bytes
+        return self._header_bytes + n * self._entry_bytes
 
     def _segment_read_bytes(self, node: BeNode, idx: int) -> int:
         """Charged size of segment ``idx``: messages (+ child pivots)."""
-        fmt = self.config.fmt
-        nbytes = node.segment_bytes(idx, fmt)
+        nbytes = node.segments[idx].count * self._msg_bytes
         if self.pivots_in_parent:
             child = self._nodes[node.children[idx]]
             if child.is_leaf:
                 # The parent stores the leaf's basement-chunk index instead.
-                nbytes += self._chunk_count(child) * fmt.key_bytes
+                per = self._basement
+                nbytes += max(1, -(-len(child.keys) // per)) * self._key_bytes
             else:
-                nbytes += fmt.internal_bytes(len(child.children))
+                nbytes += self._header_bytes + len(child.children) * self._pivot_bytes
         return nbytes
 
     def _pivot_area_bytes(self, node: BeNode) -> int:
@@ -179,28 +337,29 @@ class OptimizedBeTree(BeTree):
         kind, nid = cid[0], cid[1]
         base = self._base[nid]
         if kind == "b":
-            return base + cid[2] * self._chunk_slot_bytes
+            return base + cid[2] * self._chunk_slot
         if kind == "p":
             return base
-        return base + self._pivot_slot_bytes + cid[2] * self._segment_slot_bytes
+        return base + self._pivot_slot + cid[2] * self._seg_slot
 
     # -- charging primitives -------------------------------------------------------
 
     def _touch(self, cid: Hashable, nbytes: int | None = None, *, dirty: bool) -> None:
-        """Access one component: read charge on miss, resize, optional dirty."""
-        cache = self.storage.cache
-        if not cache.contains(cid):
-            try:
-                cache.get(cid)  # charges one read of the registered size
-            except CacheError:
-                raise CacheError(f"component {cid!r} was never created") from None
-        if nbytes is not None:
-            size = _round_grain(nbytes)
-            _, cur = cache.extent_of(cid)
-            if cur != size:
-                cache.update_extent(cid, self._slot_of(cid), size)
-        if dirty:
-            cache.mark_dirty(cid)
+        """Access one component: read charge on miss, resize, optional dirty.
+
+        One :meth:`~repro.storage.cache.BufferCache.access` call — component
+        slots are fixed, so a resize keeps the registered offset and the
+        cache can do the whole contains/get/resize/dirty sequence on a
+        single index lookup.
+        """
+        try:
+            self._access(
+                cid,
+                _round_grain(nbytes) if nbytes is not None else None,
+                dirty=dirty,
+            )
+        except CacheError:
+            raise CacheError(f"component {cid!r} was never created") from None
 
     def _rewrite_node(self, node: BeNode) -> None:
         """Whole-node rewrite: batched read of missing parts + one write.
@@ -211,26 +370,34 @@ class OptimizedBeTree(BeTree):
         """
         cache = self.storage.cache
         plan = self._component_plan(node)
-        new_ids = {cid for cid, _, _ in plan}
-        for cid in self._parts.get(node.node_id, []):
-            if cid not in new_ids:
-                # Components live in slots of the node's own extent; dropping
-                # one releases no allocator space.
-                cache.delete(cid)
-        missing = sum(
-            _round_grain(nb) for cid, _, nb in plan if not cache.contains(cid)
-        )
-        base = self._base[node.node_id]
+        nid = node.node_id
+        new_ids = [cid for cid, _, _ in plan]
+        old_ids = self._parts.get(nid, [])
+        if old_ids != new_ids:
+            keep = set(new_ids)
+            for cid in old_ids:
+                if cid not in keep:
+                    # Components live in slots of the node's own extent;
+                    # dropping one releases no allocator space.
+                    cache.delete(cid)
+        contains = cache.contains
+        missing = 0
+        total = 0
+        items = []
+        for cid, offset, nb in plan:
+            r = _round_grain(nb)
+            total += r
+            if not contains(cid):
+                missing += r
+            items.append((cid, offset, r))
+        base = self._base[nid]
         if missing:
             self.storage.device.read(base, missing)
-        total = sum(_round_grain(nb) for _, _, nb in plan)
         self.storage.device.write(base, total)
         # Components are now resident and *clean* — the write-back just
         # happened as the batched write above.
-        for cid, offset, nb in plan:
-            cache.admit(cid, None, offset, _round_grain(nb), dirty=False)
-            cache.mark_clean(cid)
-        self._parts[node.node_id] = [cid for cid, _, _ in plan]
+        cache.readmit_clean(items)
+        self._parts[nid] = new_ids
 
     # -- storage hooks overridden from BeTree ---------------------------------------
 

@@ -105,6 +105,15 @@ class BeTree:
     def __init__(self, storage: StorageStack, config: BeTreeConfig | None = None) -> None:
         self.storage = storage
         self.config = config or BeTreeConfig()
+        # Byte thresholds inverted to message-count thresholds:
+        # buffer_bytes(n) = n * message_bytes is linear and monotonic, so
+        # ``bytes > cap`` is exactly ``count > cap // message_bytes``.  The
+        # per-insert budget check then needs no byte arithmetic at all.
+        # Computed lazily on the first overflow check (not here) because
+        # ``buffer_budget_bytes`` rejects configs whose nodes are too small
+        # to buffer — and query-only trees at such sizes must still work.
+        self._budget_msgs: int | None = None
+        self._seg_cap_msgs = 0
         self._next_id = 0
         self._next_seq = 0
         self.user_bytes_modified = 0
@@ -186,6 +195,24 @@ class BeTree:
         """Insert or overwrite ``key``."""
         self._put(Message(self._seq(), MessageOp.INSERT, key, value))
 
+    def put_many(self, pairs) -> None:
+        """Insert every ``(key, value)`` pair, in order.
+
+        The batched write-side counterpart of the batched read paths:
+        accounting (device traffic, cache stats, message sequence numbers)
+        is identical to a serial loop of :meth:`insert` — the batching only
+        removes per-call Python overhead, it never reorders messages.
+        """
+        seq = self._next_seq
+        put = self._put
+        make = Message
+        op = MessageOp.INSERT
+        for key, value in pairs:
+            seq += 1
+            self._next_seq = seq
+            put(make(seq, op, key, value))
+            seq = self._next_seq  # _put may cascade into further mutations
+
     def delete(self, key: int) -> None:
         """Delete ``key`` (a no-op if absent; encoded as a tombstone)."""
         self._put(Message(self._seq(), MessageOp.DELETE, key))
@@ -203,22 +230,46 @@ class BeTree:
         idx = self._child_index(root, msg.key)
         root.add_message(idx, msg)
         self._dirty_segment(root, idx)
-        self._flush_overflows(root)
+        self._flush_overflows(root, changed_idx=idx)
         self._maybe_grow_root()
 
-    def _buffer_over_budget(self, node: BeNode) -> bool:
-        fmt = self.config.fmt
-        if fmt.buffer_bytes(node.buffered_messages()) > self.config.buffer_budget_bytes:
-            return True
-        cap = self._segment_overflow_bytes()
-        return any(
-            node.segment_bytes(i, fmt) > cap for i in range(len(node.segments))
-        )
+    def _ensure_thresholds(self) -> int:
+        """Compute the count thresholds on first use; returns the budget.
 
-    def _flush_overflows(self, node: BeNode) -> None:
+        Deferred from ``__init__`` so that configs whose nodes cannot
+        buffer (``buffer_budget_bytes`` raises) still support the
+        query-only lifecycle; the error surfaces on the first insert,
+        exactly where the old per-insert byte arithmetic raised it.
+        """
+        mb = self.config.fmt.message_bytes
+        self._budget_msgs = self.config.buffer_budget_bytes // mb
+        self._seg_cap_msgs = self._segment_overflow_bytes() // mb
+        return self._budget_msgs
+
+    def _buffer_over_budget(self, node: BeNode, changed_idx: int | None = None) -> bool:
+        """Whether the node must flush, via precomputed count thresholds.
+
+        ``changed_idx`` is the O(1) fast path: between public operations
+        every segment respects the cap (flush restores it, and splits only
+        redistribute messages), so after a single ``add_message(idx)`` the
+        only segment that can newly exceed the cap is ``idx`` — the full
+        scan and the single check return the same answer.
+        """
+        budget = self._budget_msgs
+        if budget is None:
+            budget = self._ensure_thresholds()
+        if node.buffered_count > budget:
+            return True
+        cap = self._seg_cap_msgs
+        if changed_idx is not None:
+            return node.segments[changed_idx].count > cap
+        return any(s.count > cap for s in node.segments)
+
+    def _flush_overflows(self, node: BeNode, changed_idx: int | None = None) -> None:
         """Flush the fullest child until the node's buffer fits again."""
-        while self._buffer_over_budget(node):
+        while self._buffer_over_budget(node, changed_idx):
             self._flush_child(node, node.fullest_segment())
+            changed_idx = None  # a flush may leave any segment the fullest
 
     def _flush_child(self, parent: BeNode, idx: int) -> None:
         """Move child ``idx``'s pending messages down one level."""
@@ -253,25 +304,68 @@ class BeTree:
         """
         leaf = self._get(parent.children[idx]) if parent is not None else self._get(self.root_id)
         assert leaf.is_leaf
-        for m in msgs:
-            i = bisect.bisect_left(leaf.keys, m.key)
-            present = i < len(leaf.keys) and leaf.keys[i] == m.key
-            if m.op is MessageOp.INSERT:
-                if present:
-                    leaf.values[i] = m.value
+        pending: dict[int, Any] | None = None
+        if len(msgs) > 8:
+            # One pass both classifies and collects: a non-insert op aborts
+            # into the serial loop below with `pending` discarded.
+            pending = {}
+            insert_op = MessageOp.INSERT
+            for m in msgs:
+                if m.op is not insert_op:
+                    pending = None
+                    break
+                pending[m.key] = m.value  # seq order: last write wins
+        if pending is not None:
+            # All-insert batch (the flush hot path): the serial loop's final
+            # state is fully determined by the key -> last-value map plus
+            # sortedness, so overwrite present keys in place and merge the
+            # fresh ones in a single O(n + k log n) pass instead of k
+            # bisect-inserts, each of which memmoves the whole tail.
+            keys, values = leaf.keys, leaf.values
+            n = len(keys)
+            fresh: list[tuple[int, Any]] = []
+            for k, v in pending.items():
+                i = bisect.bisect_left(keys, k)
+                if i < n and keys[i] == k:
+                    values[i] = v
                 else:
-                    leaf.keys.insert(i, m.key)
-                    leaf.values.insert(i, m.value)
-            elif m.op is MessageOp.DELETE:
-                if present:
-                    del leaf.keys[i]
-                    del leaf.values[i]
-            else:  # UPSERT
-                if present:
-                    leaf.values[i] = leaf.values[i] + m.value
-                else:
-                    leaf.keys.insert(i, m.key)
-                    leaf.values.insert(i, m.value)
+                    fresh.append((k, v))
+            if fresh:
+                fresh.sort()
+                mk: list[int] = []
+                mv: list[Any] = []
+                i = 0
+                for k, v in fresh:
+                    j = bisect.bisect_left(keys, k, i)
+                    if j > i:
+                        mk.extend(keys[i:j])
+                        mv.extend(values[i:j])
+                        i = j
+                    mk.append(k)
+                    mv.append(v)
+                mk.extend(keys[i:])
+                mv.extend(values[i:])
+                leaf.keys, leaf.values = mk, mv
+        else:
+            for m in msgs:
+                i = bisect.bisect_left(leaf.keys, m.key)
+                present = i < len(leaf.keys) and leaf.keys[i] == m.key
+                if m.op is MessageOp.INSERT:
+                    if present:
+                        leaf.values[i] = m.value
+                    else:
+                        leaf.keys.insert(i, m.key)
+                        leaf.values.insert(i, m.value)
+                elif m.op is MessageOp.DELETE:
+                    if present:
+                        del leaf.keys[i]
+                        del leaf.values[i]
+                else:  # UPSERT
+                    if present:
+                        leaf.values[i] = leaf.values[i] + m.value
+                    else:
+                        leaf.keys.insert(i, m.key)
+                        leaf.values.insert(i, m.value)
         self._dirty(leaf)
         cap = self.config.leaf_capacity
         if len(leaf.keys) > cap:
@@ -354,6 +448,8 @@ class BeTree:
         del node.pivots[mid - 1 :]
         del node.children[mid:]
         del node.segments[mid:]
+        node.recount()
+        right.recount()
         self._dirty(node)
         self._dirty(right)
         if parent is None:
@@ -481,12 +577,13 @@ class BeTree:
             return
         self._free(self._get(self.root_id))
         per_leaf = max(2, int(self.config.leaf_capacity * self.config.bulk_fill))
+        all_keys = [k for k, _ in pairs]
+        all_values = [v for _, v in pairs]
         level: list[tuple[int, int]] = []
         for start in range(0, len(pairs), per_leaf):
-            chunk = pairs[start : start + per_leaf]
             leaf = self._new_node(is_leaf=True)
-            leaf.keys = [k for k, _ in chunk]
-            leaf.values = [v for _, v in chunk]
+            leaf.keys = all_keys[start : start + per_leaf]
+            leaf.values = all_values[start : start + per_leaf]
             self._dirty(leaf)
             level.append((leaf.keys[0], leaf.node_id))
         self.user_bytes_modified += len(pairs) * self.config.fmt.entry_bytes
@@ -543,6 +640,8 @@ class BeTree:
             raise TreeError(f"node {node_id} pivot/children arity mismatch")
         if len(node.segments) != len(node.children):
             raise TreeError(f"node {node_id} segment/children arity mismatch")
+        if node.buffered_count != sum(s.count for s in node.segments):
+            raise TreeError(f"node {node_id} buffered_count out of sync")
         if len(node.children) > self.config.max_children:
             raise TreeError(f"node {node_id} fanout {len(node.children)} over max")
         if fmt.buffer_bytes(node.buffered_messages()) > self.config.buffer_budget_bytes:

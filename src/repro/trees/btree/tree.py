@@ -214,6 +214,18 @@ class BTree:
         self.user_bytes_modified += self.config.fmt.entry_bytes
         self._dirty(node)
 
+    def put_many(self, pairs: list[tuple[int, Any]]) -> None:
+        """Batched inserts: identical to a serial loop of :meth:`insert`.
+
+        A B-tree insert is structural top to bottom (splits happen on the
+        way down), so there is no per-message work to batch away; this
+        entry point exists so batch-aware callers can treat all trees
+        uniformly, and hoists only the method lookup.
+        """
+        insert = self.insert
+        for key, value in pairs:
+            insert(key, value)
+
     def _is_full(self, node: BTreeNode) -> bool:
         if node.is_leaf:
             return len(node.keys) >= self.config.leaf_capacity

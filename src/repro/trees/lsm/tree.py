@@ -89,6 +89,23 @@ class LSMTree:
         self.user_bytes_modified += self.config.fmt.entry_bytes
         self._maybe_flush()
 
+    def put_many(self, pairs: list[tuple[int, Any]]) -> None:
+        """Batched inserts: identical to a serial loop of :meth:`insert`.
+
+        The flush check still runs after every pair — a memtable can fill
+        mid-batch, and the flush/compaction schedule (hence every device
+        write) must match the serial loop exactly.
+        """
+        memtable = self.memtable
+        entry_bytes = self.config.fmt.entry_bytes
+        cap = self.config.entries_per_memtable
+        for key, value in pairs:
+            memtable[key] = value
+            self.user_bytes_modified += entry_bytes
+            if len(memtable) >= cap:
+                self.flush_memtable()
+                memtable = self.memtable  # the flush swapped in a fresh dict
+
     def delete(self, key: int) -> None:
         """Delete ``key`` (tombstone)."""
         self.memtable[key] = TOMBSTONE

@@ -46,6 +46,14 @@ def _value_for(key: int) -> int:
     return key * 2 + 1
 
 
+def _sorted_distinct(arr: "np.ndarray") -> "np.ndarray":
+    """Sorted distinct values of ``arr`` — np.unique minus its hash-path cost."""
+    if arr.size == 0:
+        return arr
+    s = np.sort(arr)
+    return s[np.concatenate(([True], s[1:] != s[:-1]))]
+
+
 def random_load_pairs(n: int, universe: int, seed: int = 0) -> list[tuple[int, int]]:
     """``n`` distinct uniform-random keys with derived values, sorted.
 
@@ -59,12 +67,16 @@ def random_load_pairs(n: int, universe: int, seed: int = 0) -> list[tuple[int, i
             f"universe {universe} too small to draw {n} distinct keys comfortably"
         )
     rng = np.random.default_rng(seed)
-    keys: set[int] = set()
-    while len(keys) < n:
-        draw = rng.integers(0, universe, size=n - len(keys), dtype=np.int64)
-        keys.update(int(k) for k in draw)
-    sorted_keys = sorted(keys)
-    return [(k, _value_for(k)) for k in sorted_keys]
+    # Accumulate distinct keys with vectorized sort-dedup instead of a
+    # Python set: the round-by-round draw sizes (n minus distinct-so-far)
+    # and hence the RNG stream are identical, and the ascending output
+    # matches sorted(set(...)) exactly.
+    uniq = _sorted_distinct(rng.integers(0, universe, size=n, dtype=np.int64))
+    while uniq.size < n:
+        draw = rng.integers(0, universe, size=n - uniq.size, dtype=np.int64)
+        uniq = _sorted_distinct(np.concatenate((uniq, draw)))
+    values = uniq * 2 + 1  # vectorized _value_for
+    return list(zip(uniq.tolist(), values.tolist()))
 
 
 def sorted_load_pairs(n: int, stride: int = 2, seed: int = 0) -> list[tuple[int, int]]:
@@ -89,17 +101,17 @@ def point_query_stream(
     rng = np.random.default_rng(seed)
     idx = rng.integers(0, len(loaded_keys), size=n_ops)
     hits = rng.random(n_ops) < hit_fraction
-    for i in range(n_ops):
-        k = loaded_keys[int(idx[i])]
-        yield k if hits[i] else k + 1  # loaded values are even-spaced in practice
+    for i_key, hit in zip(idx.tolist(), hits.tolist()):
+        k = loaded_keys[i_key]
+        yield k if hit else k + 1  # loaded values are even-spaced in practice
 
 
 def insert_stream(universe: int, n_ops: int, seed: int = 0) -> Iterator[tuple[int, int]]:
     """Random (key, value) inserts over the universe."""
     rng = np.random.default_rng(seed)
     keys = rng.integers(0, universe, size=n_ops, dtype=np.int64)
-    for k in keys:
-        yield int(k), _value_for(int(k))
+    values = keys * 2 + 1  # vectorized _value_for
+    yield from zip(keys.tolist(), values.tolist())
 
 
 def range_query_stream(

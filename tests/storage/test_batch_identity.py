@@ -1,0 +1,266 @@
+"""Scalar-vs-batched byte-identity across every device model.
+
+The batched IO contract (docs/architecture.md): ``read_batch`` /
+``write_batch`` are *semantically invisible* — clock, stats, trace,
+sampler, and RNG stream position must match a serial loop of ``read`` /
+``write`` bit for bit.  These tests enforce that with exact float
+equality (no ``approx``) on every device the experiments use, plus the
+fault wrapper in both its transparent and perturbed configurations, and
+with observability both off and on.
+"""
+
+import pytest
+
+from repro.errors import InvalidIOError
+from repro.faults.device import FaultyDevice
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import ResiliencePolicy
+from repro.models.affine import AffineModel
+from repro.models.pdam import PDAMModel
+from repro.obs import OBS
+from repro.storage.device import ReadRequest
+from repro.storage.engine import ClosedLoopRunner, ResourcePool
+from repro.storage.hdd import HDDGeometry, SimulatedHDD
+from repro.storage.ideal import AffineDevice, PDAMDevice
+from repro.storage.ram import ConstantLatencyDevice
+from repro.storage.ssd import SimulatedSSD, SSDGeometry
+
+OFFSETS = [512, 1 << 20, 4096, 2 << 20, 4096 + 65536, 1 << 24]
+NBYTES = 4096
+
+
+def affine():
+    return AffineDevice(
+        AffineModel(alpha=2.5e-6, setup_seconds=0.004),
+        capacity_bytes=1 << 30,
+        sequential_detection=True,
+        write_multiplier=2.5,
+    )
+
+
+def pdam():
+    return PDAMDevice(
+        PDAMModel(block_bytes=4096, parallelism=4, step_seconds=1e-4),
+        capacity_bytes=1 << 30,
+    )
+
+
+def hdd(seed=3):
+    return SimulatedHDD(HDDGeometry(capacity_bytes=1 << 30), seed=seed)
+
+
+def ssd():
+    return SimulatedSSD(SSDGeometry(capacity_bytes=1 << 30))
+
+
+def faulty_transparent():
+    return FaultyDevice(hdd(seed=7), FaultPlan(seed=11))
+
+
+def faulty_perturbed():
+    return FaultyDevice(
+        hdd(seed=7),
+        FaultPlan(seed=11, spike_prob=0.5, spike_seconds=0.01, error_prob=0.2),
+        policy=ResiliencePolicy.retry(max_retries=4, timeout_seconds=10.0),
+    )
+
+
+DEVICES = {
+    "constant": lambda: ConstantLatencyDevice(0.002, capacity_bytes=1 << 30),
+    "affine": affine,
+    "pdam": pdam,
+    "hdd": hdd,
+    "ssd": ssd,
+    "faulty-transparent": faulty_transparent,
+    "faulty-perturbed": faulty_perturbed,
+}
+
+
+def _state(dev):
+    """Everything a batch must leave bit-identical to the serial loop."""
+    state = {"clock": dev.clock, "stats": vars(dev.stats).copy()}
+    if isinstance(dev, SimulatedHDD):
+        state["head"] = dev.head_position
+        # One more draw exposes any RNG stream divergence.
+        state["next_draw"] = float(dev._rng.random())
+    if isinstance(dev, PDAMDevice):
+        state["steps"] = dev.steps_elapsed
+        state["slots"] = (dev.slots_used, dev.slots_wasted)
+    if isinstance(dev, SimulatedSSD):
+        state["dies"] = dev._dies.available_at_array.tolist()
+        state["channels"] = dev._channels.available_at_array.tolist()
+    if isinstance(dev, FaultyDevice):
+        state["inner"] = _state(dev.inner)
+        state["faults"] = vars(dev.fault_stats).copy()
+    return state
+
+
+@pytest.mark.parametrize("name", DEVICES)
+@pytest.mark.parametrize("direction", ["read", "write"])
+def test_batch_identical_to_serial_loop(name, direction):
+    ref, dev = DEVICES[name](), DEVICES[name]()
+    op = getattr(ref, direction)
+    expected = [op(off, NBYTES) for off in OFFSETS]
+    got = getattr(dev, f"{direction}_batch")(OFFSETS, NBYTES)
+    assert got == expected  # exact float equality, not approx
+    assert _state(dev) == _state(ref)
+
+
+@pytest.mark.parametrize("name", DEVICES)
+def test_batch_identical_under_observability(name, monkeypatch):
+    monkeypatch.setattr(OBS, "enabled", True)
+    ref, dev = DEVICES[name](), DEVICES[name]()
+    expected = [ref.read(off, NBYTES) for off in OFFSETS]
+    assert dev.read_batch(OFFSETS, NBYTES) == expected
+    assert _state(dev) == _state(ref)
+
+
+@pytest.mark.parametrize("name", DEVICES)
+def test_invalid_batch_charges_nothing(name):
+    dev = DEVICES[name]()
+    with pytest.raises(InvalidIOError):
+        dev.write_batch([0, dev.capacity_bytes], NBYTES)
+    assert dev.stats.ios == 0 and dev.clock == 0.0
+
+
+@pytest.mark.parametrize("name", DEVICES)
+def test_empty_batch_is_noop(name):
+    dev = DEVICES[name]()
+    assert dev.read_batch([], NBYTES) == []
+    assert dev.write_batch([], NBYTES) == []
+    assert dev.stats.ios == 0
+
+
+def test_faulty_fast_path_rng_stream_untouched():
+    # A transparent batch must leave the plan RNG exactly where a serial
+    # loop leaves it (untouched), so later perturbed runs are unaffected.
+    ref, dev = faulty_transparent(), faulty_transparent()
+    for off in OFFSETS:
+        ref.read(off, NBYTES)
+    dev.read_batch(OFFSETS, NBYTES)
+    assert float(dev._rng.random()) == float(ref._rng.random())
+
+
+def test_faulty_perturbed_falls_back_to_full_pipeline():
+    # Spikes and errors draw from the plan RNG per IO; the batch must
+    # consume the stream in the same order a serial loop does.
+    ref, dev = faulty_perturbed(), faulty_perturbed()
+    expected = [ref.read(off, NBYTES) for off in OFFSETS]
+    assert dev.read_batch(OFFSETS, NBYTES) == expected
+    assert _state(dev) == _state(ref)
+
+
+class TestResourcePoolArrays:
+    def _loop_reference(self, jobs):
+        """Occupancy computed with per-slot Python objects (the old layout)."""
+        from repro.storage.engine import Resource
+
+        slots = [Resource() for _ in range(4)]
+        for idx, at, dur in jobs:
+            slots[idx].acquire(at, dur)
+        return slots
+
+    def test_occupancy_matches_loop_reference(self):
+        jobs = [(0, 0.0, 1.0), (1, 0.5, 2.0), (0, 1.0, 0.5), (3, 0.2, 0.1)]
+        ref = self._loop_reference(jobs)
+        pool = ResourcePool(4)
+        for idx, at, dur in jobs:
+            pool.acquire(idx, at, dur)
+        for i in range(4):
+            assert pool[i].available_at == ref[i].available_at
+            assert pool[i].busy_seconds == ref[i].busy_seconds
+        assert pool.busy_seconds == sum(r.busy_seconds for r in ref)
+        for t in (0.0, 0.3, 1.0, 2.5, 10.0):
+            assert pool.free_slots(t) == sum(r.is_free(t) for r in ref)
+        assert pool.next_available_at() == min(r.available_at for r in ref)
+        assert pool.max_available_at == max(r.available_at for r in ref)
+
+    def test_first_free_prefers_lowest_index(self):
+        pool = ResourcePool(3)
+        pool.acquire(0, 0.0, 5.0)
+        assert pool.first_free(1.0) == 1
+        assert pool.first_free(1.0, exclude=1) == 2
+        pool.acquire(1, 0.0, 5.0)
+        pool.acquire(2, 0.0, 5.0)
+        assert pool.first_free(1.0) is None
+
+
+class TestWriteMany:
+    """Stack/cache ``write_many``: batched write-back, serial accounting."""
+
+    def _stack(self, n_nodes=12, nbytes=4096, cache_bytes=1 << 20):
+        from repro.storage.stack import StorageStack
+
+        stack = StorageStack(hdd(seed=4), cache_bytes)
+        for i in range(n_nodes):
+            stack.create(i, {"id": i}, nbytes if i % 3 else 2 * nbytes)
+            stack.mark_dirty(i)
+        return stack
+
+    def test_batched_runs_match_singleton_batches(self):
+        # One big write_many must equal per-node calls: run batching only
+        # groups equal-size extents, it never changes timing or order.
+        ids = list(range(12))
+        ref = self._stack()
+        ref_total = sum(ref.write_many([i]) for i in ids)
+        stack = self._stack()
+        assert stack.write_many(ids) == ref_total
+        assert stack.device.clock == ref.device.clock
+        assert vars(stack.device.stats) == vars(ref.device.stats)
+        assert stack.io_seconds == ref.io_seconds
+
+    def test_clean_and_repeated_ids_are_skipped(self):
+        stack = self._stack()
+        spent = stack.write_many(list(range(12)))
+        assert spent > 0
+        assert stack.write_many(list(range(12))) == 0.0  # all clean now
+        assert stack.device.stats.writes == 12
+
+    def test_unknown_id_raises(self):
+        from repro.errors import CacheError
+
+        stack = self._stack()
+        with pytest.raises(CacheError):
+            stack.write_many([0, 999])
+
+    def test_flush_equals_write_many_of_all(self):
+        ref = self._stack()
+        ref_spent = ref.write_many(list(range(12)))
+        stack = self._stack()
+        assert stack.flush() == ref_spent
+        assert stack.device.clock == ref.device.clock
+
+
+class TestBatchedRunner:
+    def _streams(self, n_clients, n_requests):
+        return [
+            [ReadRequest((c * 7 + r) % 128 * 65536, 65536) for r in range(n_requests)]
+            for c in range(n_clients)
+        ]
+
+    def test_batched_dispatch_matches_scalar(self):
+        streams = self._streams(6, 40)
+        scalar_dev, batch_dev = ssd(), ssd()
+        scalar = ClosedLoopRunner(
+            scalar_dev.service_request,
+        ).run(streams)
+        batched = ClosedLoopRunner(
+            batch_dev.service_request,
+            service_batch=batch_dev.service_request_batch,
+        ).run(streams)
+        assert batched == scalar  # exact float equality
+        assert _state(batch_dev) == _state(scalar_dev)
+
+    def test_run_closed_loop_uses_batch_path(self):
+        scalar_dev, batch_dev = ssd(), ssd()
+        streams = self._streams(4, 30)
+        scalar = ClosedLoopRunner(scalar_dev.service_request).run_makespan(streams)
+        assert batch_dev.run_closed_loop(streams) == scalar
+
+    def test_batch_path_disabled_under_observability(self, monkeypatch):
+        # The scalar path stays authoritative when OBS is recording; the
+        # makespan must not change either way.
+        streams = self._streams(4, 10)
+        plain = ssd().run_closed_loop(streams)
+        monkeypatch.setattr(OBS, "enabled", True)
+        assert ssd().run_closed_loop(streams) == plain

@@ -1,0 +1,132 @@
+"""``put_many`` serial-identity: batched inserts must equal insert loops.
+
+Every tree's ``put_many`` contract is the write-side twin of the batched
+read paths: device traffic, cache statistics, structural state, and (for
+the Bε-trees) message sequence numbers must be *identical* to calling
+``insert`` once per pair — the batch removes Python overhead, never
+semantics.  Devices with real timing (the default simulated HDD) make
+the comparison bit-exact in simulated seconds, not just op counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.storage.hdd import HDDGeometry, SimulatedHDD
+from repro.storage.stack import StorageStack
+from repro.trees.betree import BeTree, BeTreeConfig, OptimizedBeTree
+from repro.trees.btree import BTree, BTreeConfig
+from repro.trees.lsm import LSMConfig, LSMTree
+from repro.trees.sizing import EntryFormat
+
+
+def _pairs(n=4000, universe=60_000, seed=13):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, universe, size=n, dtype=np.int64)
+    return [(int(k), int(k) * 5 + 1) for k in keys]
+
+
+def _hdd():
+    return SimulatedHDD(HDDGeometry(capacity_bytes=1 << 30), seed=1)
+
+
+def _make_btree():
+    stack = StorageStack(_hdd(), cache_bytes=1 << 18)
+    return BTree(stack, BTreeConfig(node_bytes=4096)), stack
+
+
+def _make_betree():
+    stack = StorageStack(_hdd(), cache_bytes=1 << 18)
+    cfg = BeTreeConfig(node_bytes=16384, fanout=4, fmt=EntryFormat(value_bytes=20))
+    return BeTree(stack, cfg), stack
+
+
+def _make_opt_betree():
+    stack = StorageStack(_hdd(), cache_bytes=1 << 18)
+    cfg = BeTreeConfig(node_bytes=16384, fanout=4, fmt=EntryFormat(value_bytes=20))
+    return OptimizedBeTree(stack, cfg), stack
+
+
+def _make_lsm():
+    dev = _hdd()
+    return LSMTree(dev, LSMConfig(memtable_bytes=1 << 12, sstable_bytes=1 << 14)), dev
+
+
+TREES = {
+    "btree": _make_btree,
+    "betree": _make_betree,
+    "betree-optimized": _make_opt_betree,
+    "lsm": _make_lsm,
+}
+
+
+def _accounting(tree, backing):
+    device = backing.device if isinstance(backing, StorageStack) else backing
+    acct = {
+        "clock": device.clock,
+        "stats": vars(device.stats).copy(),
+        "user_bytes": tree.user_bytes_modified,
+    }
+    if isinstance(backing, StorageStack):
+        acct["io_seconds"] = backing.io_seconds
+        acct["cache"] = (backing.cache.stats.hits, backing.cache.stats.misses)
+    return acct
+
+
+@pytest.mark.parametrize("name", TREES)
+def test_put_many_identical_to_insert_loop(name):
+    pairs = _pairs()
+    serial_tree, serial_backing = TREES[name]()
+    for k, v in pairs:
+        serial_tree.insert(k, v)
+    batch_tree, batch_backing = TREES[name]()
+    batch_tree.put_many(pairs)
+    assert _accounting(batch_tree, batch_backing) == _accounting(
+        serial_tree, serial_backing
+    )
+    if hasattr(batch_tree, "check_invariants"):
+        batch_tree.check_invariants()
+    if hasattr(batch_tree, "items"):
+        assert list(batch_tree.items()) == list(serial_tree.items())
+
+
+@pytest.mark.parametrize("name", ["betree", "betree-optimized"])
+def test_put_many_preserves_sequence_numbers(name):
+    # Later deletes/upserts must see exactly the sequence counter a serial
+    # loop leaves behind, or message ordering would diverge downstream.
+    pairs = _pairs(n=1500)
+    serial_tree, _ = TREES[name]()
+    for k, v in pairs:
+        serial_tree.insert(k, v)
+    batch_tree, _ = TREES[name]()
+    batch_tree.put_many(pairs)
+    assert batch_tree._next_seq == serial_tree._next_seq
+
+
+@pytest.mark.parametrize("name", TREES)
+def test_put_many_empty_and_iterator_inputs(name):
+    tree, backing = TREES[name]()
+    tree.put_many([])
+    tree.put_many(iter([(1, 2), (3, 4)]))
+    assert tree.get(1) == 2 and tree.get(3) == 4
+
+
+def test_put_many_interleaves_with_serial_ops():
+    # Mixing batched and serial mutations must match an all-serial run.
+    pairs = _pairs(n=2000)
+    serial_tree, serial_stack = _make_opt_betree()
+    batch_tree, batch_stack = _make_opt_betree()
+    for k, v in pairs[:500]:
+        serial_tree.insert(k, v)
+        batch_tree.insert(k, v)
+    for k, v in pairs[500:1500]:
+        serial_tree.insert(k, v)
+    batch_tree.put_many(pairs[500:1500])
+    serial_tree.delete(pairs[0][0])
+    batch_tree.delete(pairs[0][0])
+    for k, v in pairs[1500:]:
+        serial_tree.insert(k, v)
+    batch_tree.put_many(pairs[1500:])
+    assert _accounting(batch_tree, batch_stack) == _accounting(
+        serial_tree, serial_stack
+    )
+    assert list(batch_tree.items()) == list(serial_tree.items())
