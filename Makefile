@@ -1,6 +1,6 @@
 # Convenience targets; see README.md.
 
-.PHONY: install test lint bench engine-bench experiments examples serve-quick all
+.PHONY: install test lint bench engine-bench experiments examples serve-quick cob all
 
 install:
 	pip install -e .
@@ -26,6 +26,12 @@ experiments:
 serve-quick:
 	PYTHONPATH=src python -m repro.experiments serve --quick --no-cache
 	PYTHONPATH=src python benchmarks/bench_serve.py --smoke
+
+# The cache-oblivious tier: its tests, its lint, and the E20 quick sweep.
+cob:
+	PYTHONPATH=src python -m pytest tests/trees/test_cob.py tests/trees/test_veb.py tests/trees/test_put_many.py -q
+	PYTHONPATH=src python -m repro.lint src/repro/trees/cob
+	PYTHONPATH=src python -m repro.experiments cob --quick --no-cache
 
 examples:
 	python examples/quickstart.py

@@ -42,6 +42,19 @@ SMOKE = dict(
     seed=0,
 )
 
+#: Expected gate sign per config, recorded into every BENCH record so a
+#: relaxed gate is visible in the history instead of silently skipped.
+#: ``p999_strict=True`` enforces ``hedge p999 < P999_FACTOR * none p999``.
+#: The smoke sweep serves too few requests for its p999 to be anything
+#: but the single worst round, so there the gate is *advisory*: the sign
+#: is still measured and written to the record, never asserted.  Unknown
+#: config names raise — a new config must declare its expectation here.
+P999_FACTOR = 0.5
+GATES = {
+    "full": {"p999_strict": True},
+    "smoke": {"p999_strict": False},
+}
+
 
 def _run(config, *, jobs=1):
     t0 = time.perf_counter()
@@ -103,20 +116,32 @@ def _measure(config):
     }
 
 
-def _check(m, *, strict_p999=True):
+def _check(m, *, config_name):
+    """Run the gates for ``config_name``; return the gate outcomes.
+
+    Every outcome — including the p999 sign when the gate is advisory —
+    goes back to the caller for the BENCH record, so the history shows
+    *which* gates each record actually enforced.
+    """
+    gates = GATES[config_name]  # KeyError = undeclared config, on purpose
+    outcomes = {
+        "p999_strict": gates["p999_strict"],
+        "p999_factor": P999_FACTOR,
+        "p999_sign_ok": m["hedge_p999_ms"] < m["none_p999_ms"],
+        "p999_strict_ok": m["hedge_p999_ms"] < P999_FACTOR * m["none_p999_ms"],
+    }
     assert m["deterministic_across_jobs"], "serve sweep differs across job counts"
     assert m["hedge_p99_ms"] < m["none_p99_ms"], (
         f"hedging no longer improves p99 at the top rate: "
         f"hedge {m['hedge_p99_ms']:.1f}ms vs none {m['none_p99_ms']:.1f}ms"
     )
-    if strict_p999:
+    if gates["p999_strict"]:
         # The spike quantile is hedging's home turf; demand a wide margin.
-        # Full config only: the smoke sweep has too few requests for its
-        # p999 to be anything but the single worst round.
-        assert m["hedge_p999_ms"] < 0.5 * m["none_p999_ms"], (
+        assert outcomes["p999_strict_ok"], (
             f"hedging should cut p999 decisively at the top rate: "
             f"hedge {m['hedge_p999_ms']:.1f}ms vs none {m['none_p999_ms']:.1f}ms"
         )
+    return outcomes
 
 
 def bench_serve_tail(benchmark, show):
@@ -130,14 +155,15 @@ def bench_serve_tail(benchmark, show):
     benchmark.extra_info["none_p99_ms"] = round(m["none_p99_ms"], 2)
     benchmark.extra_info["hedge_p99_ms"] = round(m["hedge_p99_ms"], 2)
     benchmark.extra_info["improvement"] = round(m["hedge_p99_improvement"], 4)
-    _check(m)
+    _check(m, config_name="full")
 
 
 def main(argv):
-    config = SMOKE if "--smoke" in argv else FULL
+    config_name = "smoke" if "--smoke" in argv else "full"
+    config = SMOKE if config_name == "smoke" else FULL
     m = _measure(config)
-    _check(m, strict_p999=config is FULL)
-    record = {"config": "smoke" if config is SMOKE else "full"}
+    m["gates"] = _check(m, config_name=config_name)
+    record = {"config": config_name}
     record.update(
         {k: round(v, 4) if isinstance(v, float) else v for k, v in m.items()}
     )

@@ -14,6 +14,7 @@ from repro.experiments import (
     exp_autotune,
     exp_betree_nodesize,
     exp_btree_nodesize,
+    exp_cob_compare,
     exp_epsilon_tradeoff,
     exp_lsm_nodesize,
     exp_model_error,
@@ -47,15 +48,19 @@ EXPERIMENTS: dict[str, Callable[[], object]] = {
     "autotune": exp_autotune.run,
     "tailres": exp_tail_resilience.run,
     "serve": exp_serve_tail.run,
+    "cob": exp_cob_compare.run,
 }
 
 #: Experiments migrated to repro.runner: these accept ``jobs=``/``cache=``.
 RUNNER_EXPERIMENTS = frozenset(
-    {"table2", "fig2", "fig3", "autotune", "tailres", "serve"}
+    {"table2", "fig2", "fig3", "autotune", "tailres", "serve", "cob"}
 )
 
 #: Experiments that understand the fault flags (--faults/--policy/--quick).
 FAULT_EXPERIMENTS = frozenset({"tailres", "serve"})
+
+#: Runner experiments with a CI-smoke ``quick=`` switch (no fault flags).
+QUICK_EXPERIMENTS = frozenset({"cob"})
 
 
 def _run_one(
@@ -75,6 +80,8 @@ def _run_one(
 
     cache = ResultCache(default_cache_dir()) if use_cache else None
     kwargs: dict[str, object] = {"jobs": jobs, "cache": cache}
+    if name in QUICK_EXPERIMENTS:
+        kwargs["quick"] = quick
     if name in FAULT_EXPERIMENTS:
         if faults is not None:
             from repro.faults import FaultPlan
@@ -139,7 +146,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="shrink fault-aware experiments to CI-smoke size",
+        help="shrink fault-aware and quick-capable experiments to CI-smoke size",
     )
     parser.add_argument(
         "--profile",

@@ -283,6 +283,70 @@ def serve_tail_point(
     )
 
 
+# -- E20: cache-oblivious tier vs knobbed trees across cost models -----------
+
+
+@register("cob_compare_point")
+def cob_compare_point(
+    *,
+    tree: str,
+    model: str,
+    node_bytes: int,
+    n_entries: int,
+    universe: int,
+    n_queries: int,
+    n_inserts: int,
+    warmup_queries: int,
+    parallelism: int,
+    cache_bytes: int,
+    seed: int,
+) -> dict[str, float]:
+    """One (tree, cost model, node size) op-cost measurement."""
+    from repro.experiments import exp_cob_compare
+
+    return exp_cob_compare.measure_point(
+        tree=tree,
+        model=model,
+        node_bytes=node_bytes,
+        n_entries=n_entries,
+        universe=universe,
+        n_queries=n_queries,
+        n_inserts=n_inserts,
+        warmup_queries=warmup_queries,
+        parallelism=parallelism,
+        cache_bytes=cache_bytes,
+        seed=seed,
+    )
+
+
+@register("cob_pdam_threads_point")
+def cob_pdam_threads_point(
+    *,
+    mode: str,
+    clients: int,
+    parallelism: int,
+    block_bytes: int,
+    n_keys: int,
+    queries_per_client: int,
+    seed: int,
+) -> dict[str, float]:
+    """Lemma 13 panel: k closed-loop clients over one index layout."""
+    import numpy as np
+
+    from repro.models.pdam import PDAMModel
+    from repro.storage.ideal import PDAMDevice
+    from repro.trees.btree.veb import PDAMQuerySimulator, StaticSearchTree
+
+    keys = np.arange(1, n_keys + 1, dtype=np.int64) * 3
+    tree = StaticSearchTree(keys)
+    device = PDAMDevice(
+        PDAMModel(parallelism=parallelism, block_bytes=block_bytes)
+    )
+    sim = PDAMQuerySimulator(device, tree, mode=mode)
+    out = sim.run(clients, queries_per_client, seed=seed)
+    return {"throughput": out.throughput}
+
+
 @register("tail_resilience_pdam")
 def tail_resilience_pdam(
     *,

@@ -206,8 +206,7 @@ def _build_replica(
             block_bytes=config.node_bytes,
         )
         tree = LSMTree(device, lsm_cfg)
-        for key, value in pairs:
-            tree.insert(key, value)
+        tree.put_many(pairs)
         tree.flush_memtable()
         replica = Replica("lsm", tree, device)
         _warm(replica, pairs, device_seed, config.warm_queries)

@@ -55,10 +55,22 @@ class StaticSearchTree:
         self.height = int(math.log2(n_leaves)) + 1  # levels, root inclusive
         self.n_nodes = 2 * n_leaves - 1
         self._first_leaf = n_leaves - 1
-        # Sentinel: pad with a value larger than every real key.
-        sentinel = np.int64(keys[-1]) + 1
-        self._leaf_keys = np.full(n_leaves, sentinel, dtype=np.int64)
+        # Sentinel: pad with a value larger than every real key.  When the
+        # largest key is INT64_MAX, ``keys[-1] + 1`` would wrap to
+        # INT64_MIN and corrupt every search path right of the real keys —
+        # only a problem when padding is actually needed (an exact
+        # power-of-two key count has no pad leaves).
+        self._leaf_keys = np.empty(n_leaves, dtype=np.int64)
         self._leaf_keys[: self.n_keys] = keys
+        if n_leaves > self.n_keys:
+            if keys[-1] == np.iinfo(np.int64).max:
+                raise ConfigurationError(
+                    "largest key is INT64_MAX but the leaf level needs "
+                    f"padding ({self.n_keys} keys, {n_leaves} leaves): the "
+                    "pad sentinel must exceed every real key; use an exact "
+                    "power-of-two key count or a smaller largest key"
+                )
+            self._leaf_keys[self.n_keys :] = np.int64(keys[-1]) + 1
         # Internal node i's key = max key of its left subtree, computed
         # bottom-up: the "max of subtree" of leaves is themselves.
         subtree_max = np.empty(self.n_nodes, dtype=np.int64)
@@ -85,9 +97,15 @@ class StaticSearchTree:
         return path
 
     def contains(self, key: int) -> bool:
-        """Whether ``key`` is one of the stored keys."""
+        """Whether ``key`` is one of the stored keys.
+
+        Padded leaves are excluded: a search for the pad sentinel value
+        (``keys[-1] + 1``) lands on a pad leaf, which holds it but does
+        not store it.
+        """
         leaf = self.leaf_of(key)
-        return bool(self._leaf_keys[leaf - self._first_leaf] == key)
+        idx = leaf - self._first_leaf
+        return idx < self.n_keys and bool(self._leaf_keys[idx] == key)
 
     def nodes_at_depth(self, root: int, depth: int) -> range:
         """Heap indices of ``root``'s descendants ``depth`` levels down.

@@ -1,0 +1,17 @@
+"""Cache-oblivious tier: packed-memory array + vEB search layer.
+
+See :mod:`repro.trees.cob.tree` for the design and
+:mod:`repro.trees.cob.buffered` for the Theorem 9 buffered variant.
+"""
+
+from repro.trees.cob.buffered import BufferedCOBTree
+from repro.trees.cob.pma import EMPTY, PackedMemoryArray
+from repro.trees.cob.tree import COBConfig, COBTree
+
+__all__ = [
+    "BufferedCOBTree",
+    "COBConfig",
+    "COBTree",
+    "EMPTY",
+    "PackedMemoryArray",
+]

@@ -1,0 +1,317 @@
+"""Packed-memory array: the storage layer of the cache-oblivious tier.
+
+A PMA keeps ``n`` sorted keys in a power-of-two array of ``capacity``
+*slots*, some of which are blank, stored in one contiguous device extent.
+The array is cut into equal power-of-two *segments* (size ``~log2 C``,
+as in Bender's structure); windows of ``2^j`` aligned segments form the
+rebalancing hierarchy.  An insert lands in its segment; if the smallest
+window containing it is too dense, the structure walks up to the first
+window within its level's density threshold and evenly redistributes that
+window — densities interpolate from 1.0 at a single segment down to
+``max_density`` for the whole array, which is what bounds the amortized
+movement per insert to ``O(log^2 n)`` slots (``O((log^2 n)/B)`` block
+IOs).  When even the whole array is too dense the capacity doubles, so
+the density never drops below ``max_density / 2`` under inserts.
+
+Deletes blank their slot without underflow rebalancing (the Bender_Impl
+exemplar makes the same insert-mostly simplification); the array never
+shrinks.
+
+IO accounting mirrors :mod:`repro.trees.lsm` / :mod:`repro.trees.cola`:
+the PMA owns a device extent of ``capacity * entry_bytes``; redistributing
+a window reads and rewrites its byte range sequentially (min one block);
+doubling reads the whole old extent and writes the whole new one.  The
+search layer on top (:class:`~repro.trees.cob.tree.COBTree`) does its own
+accounting for the vEB-ordered index.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TreeError
+from repro.storage.allocator import ExtentAllocator
+from repro.storage.device import BlockDevice
+
+#: Reserved slot-is-blank sentinel; user keys must be strictly greater.
+EMPTY = np.int64(np.iinfo(np.int64).min)
+
+
+def _segment_slots_for(capacity: int) -> int:
+    """Segment size for ``capacity`` slots: ``~log2 C`` rounded to a power
+    of two, at least 8, never more than the capacity itself."""
+    target = max(8, 1 << math.ceil(math.log2(max(2, math.log2(capacity)))))
+    return min(target, capacity)
+
+
+class PackedMemoryArray:
+    """Gapped sorted int64 array over a :class:`BlockDevice` extent."""
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        *,
+        entry_bytes: int,
+        block_bytes: int = 4096,
+        initial_slots: int = 1024,
+        max_density: float = 0.8,
+        allocator: ExtentAllocator | None = None,
+    ) -> None:
+        if entry_bytes <= 0:
+            raise ConfigurationError(f"entry_bytes must be positive, got {entry_bytes}")
+        if block_bytes <= 0:
+            raise ConfigurationError(f"block_bytes must be positive, got {block_bytes}")
+        if initial_slots < 8 or initial_slots & (initial_slots - 1):
+            raise ConfigurationError(
+                f"initial_slots must be a power of two >= 8, got {initial_slots}"
+            )
+        if not 0.0 < max_density < 1.0:
+            raise ConfigurationError(
+                f"max_density must be in (0, 1), got {max_density}"
+            )
+        self.device = device
+        self.entry_bytes = int(entry_bytes)
+        self.block_bytes = int(block_bytes)
+        self.max_density = float(max_density)
+        self.allocator = allocator or ExtentAllocator(
+            device.capacity_bytes, alignment=512
+        )
+        self.n = 0
+        self.rebalances = 0
+        self.resizes = 0
+        self._init_storage(initial_slots)
+
+    # -- layout --------------------------------------------------------------
+
+    def _init_storage(self, capacity: int) -> None:
+        """(Re)allocate the array at ``capacity`` slots; contents empty."""
+        self.capacity = capacity
+        self.segment_slots = _segment_slots_for(capacity)
+        self.n_segments = capacity // self.segment_slots
+        self.keys = np.full(capacity, EMPTY, dtype=np.int64)
+        self.seg_count = np.zeros(self.n_segments, dtype=np.int64)
+        self.nbytes = capacity * self.entry_bytes
+        self.offset = self.allocator.alloc(self.nbytes)
+
+    def _upper_density(self, window_segments: int) -> float:
+        """Density ceiling for a window of ``window_segments`` segments.
+
+        Interpolates linearly in the window's level: a single segment may
+        fill completely, the whole array only to ``max_density``.
+        """
+        levels = int(math.log2(self.n_segments)) if self.n_segments > 1 else 0
+        if levels == 0:
+            return self.max_density
+        j = int(math.log2(window_segments))
+        return 1.0 - (1.0 - self.max_density) * j / levels
+
+    def segment_of(self, slot: int) -> int:
+        """Index of the segment containing ``slot``."""
+        return slot // self.segment_slots
+
+    # -- inserts -------------------------------------------------------------
+
+    def insert(self, key: int, slot: int) -> tuple[int, int, bool]:
+        """Insert ``key`` whose successor lives at ``slot``.
+
+        ``slot`` is where a search for ``key`` lands (the slot of the
+        smallest present key ``>= key``, or the last slot when no such key
+        exists); the caller's search layer provides it.  Returns
+        ``(slot_lo, slot_hi, resized)``: the half-open slot range whose
+        contents changed (the whole array after a resize).
+        """
+        return self._insert_sorted(np.array([key], dtype=np.int64), slot, slot)
+
+    def bulk_insert(
+        self, new_keys: np.ndarray, slot_lo: int, slot_hi: int
+    ) -> tuple[int, int, bool]:
+        """Merge a sorted, distinct key run whose span covers ``slot_lo..hi``.
+
+        ``slot_lo``/``slot_hi`` are the search-layer slots of the first and
+        last new key.  One window covering both is rebalanced once — the
+        batched counterpart of ``len(new_keys)`` single inserts, and the
+        flush primitive of the Theorem 9 buffered variant.  New keys that
+        already exist in the array replace in place (the caller owns the
+        values).
+        """
+        new_keys = np.asarray(new_keys, dtype=np.int64)
+        if new_keys.size == 0:
+            lo = self.segment_of(slot_lo) * self.segment_slots
+            return lo, lo, False
+        if np.any(np.diff(new_keys) <= 0):
+            raise TreeError("bulk_insert needs strictly increasing keys")
+        return self._insert_sorted(new_keys, slot_lo, slot_hi)
+
+    def _insert_sorted(
+        self, new_keys: np.ndarray, slot_lo: int, slot_hi: int
+    ) -> tuple[int, int, bool]:
+        if bool(new_keys[0] == EMPTY):
+            raise TreeError("the minimum int64 is reserved as the blank sentinel")
+        seg_lo = self.segment_of(slot_lo)
+        seg_hi = self.segment_of(slot_hi)
+        window = self._rebalance_window(seg_lo, seg_hi, extra=new_keys.size)
+        if window is None:
+            self._grow(new_keys)
+            return 0, self.capacity, True
+        lo_seg, hi_seg = window
+        self._redistribute(lo_seg, hi_seg, new_keys)
+        return lo_seg * self.segment_slots, hi_seg * self.segment_slots, False
+
+    def _rebalance_window(
+        self, seg_lo: int, seg_hi: int, *, extra: int
+    ) -> tuple[int, int] | None:
+        """Smallest aligned window covering ``[seg_lo, seg_hi]`` that stays
+        within its density threshold after adding ``extra`` entries, or
+        ``None`` when even the whole array would overflow."""
+        w = 1
+        while w <= self.n_segments:
+            lo = (seg_lo // w) * w
+            if seg_hi < lo + w:
+                occupied = int(self.seg_count[lo : lo + w].sum())
+                density = (occupied + extra) / (w * self.segment_slots)
+                if density <= self._upper_density(w):
+                    return lo, lo + w
+            w *= 2
+        return None
+
+    def _merge(self, present: np.ndarray, new_keys: np.ndarray) -> np.ndarray:
+        """Sorted union of two sorted runs; duplicate keys collapse."""
+        if present.size == 0:
+            return new_keys
+        both = np.concatenate([present, new_keys])
+        both.sort(kind="stable")
+        keep = np.empty(both.size, dtype=bool)
+        keep[:-1] = both[1:] != both[:-1]
+        keep[-1] = True
+        return both[keep]
+
+    def _redistribute(
+        self, seg_lo: int, seg_hi: int, new_keys: np.ndarray | None
+    ) -> None:
+        """Evenly respread the window ``[seg_lo, seg_hi)`` of segments,
+        merging ``new_keys`` in; charges one sequential read + write of the
+        window's byte range."""
+        lo = seg_lo * self.segment_slots
+        hi = seg_hi * self.segment_slots
+        window = self.keys[lo:hi]
+        present = window[window != EMPTY]
+        merged = (
+            self._merge(present, new_keys) if new_keys is not None else present
+        )
+        m = merged.size
+        if m > hi - lo:
+            raise TreeError(f"window [{lo}, {hi}) cannot hold {m} entries")
+        window[:] = EMPTY
+        pos = (np.arange(m, dtype=np.int64) * (hi - lo)) // max(1, m)
+        window[pos] = merged
+        self.seg_count[seg_lo:seg_hi] = np.bincount(
+            pos // self.segment_slots, minlength=seg_hi - seg_lo
+        )
+        self.n += m - present.size
+        self.rebalances += 1
+        self._charge_span(lo, hi, read=True, write=True)
+
+    def _grow(self, new_keys: np.ndarray) -> None:
+        """Double (repeatedly, for bulk runs) and respread everything."""
+        merged = self._merge(self.keys[self.keys != EMPTY], new_keys)
+        need = merged.size
+        capacity = self.capacity
+        while need > self.max_density * capacity:
+            capacity *= 2
+        # The old extent is read out once, sequentially, then freed.
+        self.device.read(self.offset, self.nbytes)
+        self.allocator.free(self.offset, self.nbytes)
+        self._init_storage(capacity)
+        self.n = need
+        pos = (np.arange(need, dtype=np.int64) * capacity) // max(1, need)
+        self.keys[pos] = merged
+        self.seg_count[:] = np.bincount(
+            pos // self.segment_slots, minlength=self.n_segments
+        )
+        self.resizes += 1
+        self.device.write(self.offset, self.nbytes)
+
+    def load(self, sorted_keys: np.ndarray) -> None:
+        """Bulk-load an empty PMA: one sequential write of the new extent."""
+        if self.n:
+            raise TreeError("load requires an empty array")
+        keys = np.asarray(sorted_keys, dtype=np.int64)
+        if keys.size and bool(keys[0] == EMPTY):
+            raise TreeError("the minimum int64 is reserved as the blank sentinel")
+        if keys.size and np.any(np.diff(keys) <= 0):
+            raise TreeError("load needs strictly increasing keys")
+        capacity = self.capacity
+        while keys.size > self.max_density * capacity:
+            capacity *= 2
+        if capacity != self.capacity:
+            self.allocator.free(self.offset, self.nbytes)
+            self._init_storage(capacity)
+        self.n = int(keys.size)
+        pos = (np.arange(keys.size, dtype=np.int64) * capacity) // max(1, keys.size)
+        self.keys[pos] = keys
+        self.seg_count[:] = np.bincount(
+            pos // self.segment_slots, minlength=self.n_segments
+        )
+        self.device.write(self.offset, self.nbytes)
+
+    # -- deletes -------------------------------------------------------------
+
+    def delete(self, slot: int) -> None:
+        """Blank ``slot`` (read-modify-write of its segment's byte range)."""
+        if bool(self.keys[slot] == EMPTY):
+            raise TreeError(f"slot {slot} is already blank")
+        self.keys[slot] = EMPTY
+        seg = self.segment_of(slot)
+        self.seg_count[seg] -= 1
+        self.n -= 1
+        lo = seg * self.segment_slots
+        self._charge_span(lo, lo + self.segment_slots, read=True, write=True)
+
+    # -- IO accounting -------------------------------------------------------
+
+    def _charge_span(self, slot_lo: int, slot_hi: int, *, read: bool, write: bool) -> None:
+        """Charge sequential IO over a slot range, min one block."""
+        span = (slot_hi - slot_lo) * self.entry_bytes
+        span = max(span, min(self.block_bytes, self.nbytes))
+        off = min(self.offset + slot_lo * self.entry_bytes, self.offset + self.nbytes - span)
+        if read:
+            self.device.read(off, span)
+        if write:
+            self.device.write(off, span)
+
+    def charge_slot_read(self, slot: int) -> None:
+        """Charge the block-aligned read that fetches ``slot``'s entry."""
+        block = min(self.block_bytes, self.nbytes)
+        frac = slot * self.entry_bytes
+        off = self.offset + min((frac // block) * block, self.nbytes - block)
+        self.device.read(off, block)
+
+    def charge_slot_write(self, slot: int) -> None:
+        """Charge the block-aligned write that overwrites ``slot`` in place."""
+        block = min(self.block_bytes, self.nbytes)
+        frac = slot * self.entry_bytes
+        off = self.offset + min((frac // block) * block, self.nbytes - block)
+        self.device.write(off, block)
+
+    def present_keys(self) -> np.ndarray:
+        """All present keys in sorted order (a copy)."""
+        return self.keys[self.keys != EMPTY].copy()
+
+    # -- invariants ----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert sortedness, counts, and density bookkeeping."""
+        present = self.keys[self.keys != EMPTY]
+        if present.size != self.n:
+            raise TreeError(f"count mismatch: {present.size} present, n={self.n}")
+        if np.any(np.diff(present) <= 0):
+            raise TreeError("present keys out of order")
+        occupied = (self.keys != EMPTY).reshape(self.n_segments, -1).sum(axis=1)
+        if not np.array_equal(occupied, self.seg_count):
+            raise TreeError("segment occupancy counters drifted")
+        if self.capacity % self.segment_slots:
+            raise TreeError("segment size does not divide capacity")
+        if self.n > self.capacity:
+            raise TreeError("more entries than slots")

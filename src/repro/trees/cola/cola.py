@@ -114,6 +114,18 @@ class COLA:
         """Delete ``key`` (tombstone)."""
         self._push(key, TOMBSTONE)
 
+    def put_many(self, pairs) -> None:
+        """Insert many pairs, identical in accounting to an insert loop.
+
+        Same contract as every other tree's ``put_many``
+        (``tests/trees/test_put_many.py``): device clock, stats, merge
+        counts, and level structure must equal calling :meth:`insert`
+        once per pair exactly — the batch only removes Python overhead.
+        """
+        push = self._push
+        for key, value in pairs:
+            push(key, value)
+
     def _push(self, key: int, value: Any) -> None:
         self.user_bytes_modified += self.config.fmt.entry_bytes
         carry = _Level([key], [value])
@@ -243,6 +255,11 @@ class COLA:
             if found:
                 return None if value is TOMBSTONE else value
         return None
+
+    def get_many(self, keys) -> list[Any | None]:
+        """Batched point queries, accounting-identical to a ``get`` loop."""
+        get = self.get
+        return [get(key) for key in keys]
 
     def __contains__(self, key: int) -> bool:
         return self.get(key) is not None

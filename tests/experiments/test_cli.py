@@ -11,7 +11,7 @@ class TestCLI:
             "fig1", "table2", "table3", "fig2", "fig3",
             "lemma13", "writeamp", "theorem9", "optima", "lsm",
             "epsilon", "aging", "asymmetry", "ycsb", "modelerr",
-            "autotune", "tailres", "serve",
+            "autotune", "tailres", "serve", "cob",
         }
 
     def test_list_prints_names_and_exits_zero(self, capsys):
@@ -103,4 +103,21 @@ class TestServeFlags:
         assert main(["serve", "--quick", "--no-cache", "--jobs", "2"]) == 0
         second = capsys.readouterr().out
         table = lambda s: s[: s.index("[serve")]
+        assert table(first) == table(second)  # bit-identical at any job count
+
+
+class TestCobFlags:
+    def test_cob_quick_smoke(self, capsys):
+        assert main(["cob", "--quick", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "E20" in out
+        assert "Lemma 13 panel" in out
+        assert "Best B-tree node size per model" in out
+
+    def test_cob_quick_deterministic_across_jobs(self, capsys):
+        assert main(["cob", "--quick", "--no-cache"]) == 0
+        first = capsys.readouterr().out
+        assert main(["cob", "--quick", "--no-cache", "--jobs", "2"]) == 0
+        second = capsys.readouterr().out
+        table = lambda s: s[: s.index("[cob")]
         assert table(first) == table(second)  # bit-identical at any job count

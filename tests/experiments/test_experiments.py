@@ -11,6 +11,7 @@ from repro.experiments import (
     exp_affine_validation,
     exp_betree_nodesize,
     exp_btree_nodesize,
+    exp_cob_compare,
     exp_lsm_nodesize,
     exp_optima,
     exp_optimizations,
@@ -274,3 +275,49 @@ class TestPDAMWriteMix:
 
         with pytest.raises(ValueError):
             exp_pdam_validation.run(write_fraction=1.5)
+
+
+class TestCOBCompare:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_cob_compare.run(quick=True, jobs=1, cache=None)
+
+    def test_knobless_trees_flat_by_construction(self, result):
+        for model in result.models:
+            for tree in ("cola", "cob", "cob-buffered"):
+                assert result.sensitivity(model, tree) == 1.0
+                assert result.sensitivity(model, tree, "insert") == 1.0
+
+    def test_btree_sensitive_to_its_knob(self, result):
+        # The knob matters: mis-sizing the B-tree costs real factors under
+        # every model, which is the re-tuning burden cob avoids.
+        for model in result.models:
+            assert result.sensitivity(model, "btree") > 1.5
+
+    def test_btree_optimum_moves_across_models(self, result):
+        # The paper's core point: the *same* tree wants a different node
+        # size under DAM vs affine vs PDAM pricing.
+        best = {m: result.best_node(m, "btree") for m in result.models}
+        assert len(set(best.values())) >= 2
+        assert best["affine"] > best["dam"]  # affine rewards larger IOs
+
+    def test_buffered_cob_insert_within_betree_band(self, result):
+        # Theorem 9: the buffered cob variant matches the best-tuned
+        # Bε-tree's amortized insert cost under the affine model.
+        assert result.insert_vs_best_tuned_betree("affine", "cob-buffered") < 2.0
+
+    def test_veb_layout_dominates_thread_panel(self, result):
+        assert result.veb_dominates_threads(slack=0.85)
+
+    def test_every_cell_pays_io(self, result):
+        # Regression guard for the scale parameters: a zero cell means the
+        # cache swallowed the workload and the comparison is vacuous.
+        for values in list(result.query_ms.values()) + list(
+            result.insert_ms.values()
+        ):
+            assert min(values) > 0
+
+    def test_render(self, result):
+        out = result.render()
+        assert "E20" in out and "Lemma 13 panel" in out
+        assert "no knob" in out

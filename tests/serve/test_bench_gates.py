@@ -1,0 +1,74 @@
+"""The bench_serve gate table: no config can silently skip a gate.
+
+``benchmarks/bench_serve.py`` once keyed its p999 strictness off object
+identity (``config is FULL``), so the smoke run skipped the gate with no
+trace in the BENCH record.  The gates are now declared per config name
+and every outcome — enforced or advisory — is returned for the record.
+These tests pin that contract without running a sweep.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_BENCH = Path(__file__).resolve().parents[2] / "benchmarks" / "bench_serve.py"
+_spec = importlib.util.spec_from_file_location("bench_serve", _BENCH)
+bench_serve = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_serve)
+
+
+def _metrics(*, none_p99=60.0, hedge_p99=50.0, none_p999=300.0, hedge_p999=320.0):
+    return {
+        "deterministic_across_jobs": True,
+        "none_p99_ms": none_p99,
+        "hedge_p99_ms": hedge_p99,
+        "none_p999_ms": none_p999,
+        "hedge_p999_ms": hedge_p999,
+    }
+
+
+class TestGateTable:
+    def test_every_config_declares_p999_expectation(self):
+        assert set(bench_serve.GATES) == {"full", "smoke"}
+        for name, gates in bench_serve.GATES.items():
+            assert "p999_strict" in gates, name
+        assert bench_serve.GATES["full"]["p999_strict"] is True
+        assert bench_serve.GATES["smoke"]["p999_strict"] is False
+
+    def test_unknown_config_cannot_skip_silently(self):
+        with pytest.raises(KeyError):
+            bench_serve._check(_metrics(), config_name="nightly")
+
+
+class TestCheck:
+    def test_smoke_records_p999_sign_without_enforcing(self):
+        # hedge p999 *worse* than none: smoke must pass but say so.
+        outcomes = bench_serve._check(_metrics(), config_name="smoke")
+        assert outcomes["p999_strict"] is False
+        assert outcomes["p999_sign_ok"] is False
+        assert outcomes["p999_strict_ok"] is False
+        assert outcomes["p999_factor"] == bench_serve.P999_FACTOR
+
+    def test_full_enforces_p999_margin(self):
+        with pytest.raises(AssertionError, match="p999"):
+            bench_serve._check(_metrics(), config_name="full")
+        # Inside the factor: passes and reports both signs true.
+        outcomes = bench_serve._check(
+            _metrics(hedge_p999=100.0), config_name="full"
+        )
+        assert outcomes["p999_strict_ok"] is True
+
+    def test_p99_gate_applies_to_every_config(self):
+        for name in bench_serve.GATES:
+            with pytest.raises(AssertionError, match="p99"):
+                bench_serve._check(
+                    _metrics(hedge_p99=70.0, hedge_p999=10.0), config_name=name
+                )
+
+    def test_determinism_gate_applies_to_every_config(self):
+        bad = _metrics(hedge_p999=10.0)
+        bad["deterministic_across_jobs"] = False
+        for name in bench_serve.GATES:
+            with pytest.raises(AssertionError, match="job"):
+                bench_serve._check(bad, config_name=name)

@@ -1,0 +1,398 @@
+"""Cache-oblivious tier tests: PMA, COBTree, and the buffered variant.
+
+The model-based tests drive each structure against a plain dict and
+assert identical contents after every phase; the accounting tests pin
+the IO conventions (every structural mutation and uncached probe charges
+device traffic, pinned-top searches are free).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, KeyOrderError, TreeError
+from repro.storage.ram import NullDevice
+from repro.trees.cob import EMPTY, BufferedCOBTree, COBConfig, COBTree, PackedMemoryArray
+from repro.trees.sizing import EntryFormat
+
+
+def _null():
+    return NullDevice(capacity_bytes=1 << 30)
+
+
+def make_pma(initial_slots=64, **kwargs):
+    dev = _null()
+    return PackedMemoryArray(dev, entry_bytes=28, initial_slots=initial_slots, **kwargs), dev
+
+
+def make_tree(cls=COBTree, ram_bytes=1 << 20, **kwargs):
+    cfg = COBConfig(
+        fmt=EntryFormat(value_bytes=20),
+        ram_bytes=ram_bytes,
+        initial_slots=64,
+        **kwargs,
+    )
+    dev = _null()
+    return cls(dev, cfg), dev
+
+
+class TestPMAConfig:
+    def test_validation(self):
+        dev = _null()
+        with pytest.raises(ConfigurationError):
+            PackedMemoryArray(dev, entry_bytes=0)
+        with pytest.raises(ConfigurationError):
+            PackedMemoryArray(dev, entry_bytes=28, block_bytes=0)
+        with pytest.raises(ConfigurationError):
+            PackedMemoryArray(dev, entry_bytes=28, initial_slots=48)  # not 2^k
+        with pytest.raises(ConfigurationError):
+            PackedMemoryArray(dev, entry_bytes=28, initial_slots=4)  # < 8
+        with pytest.raises(ConfigurationError):
+            PackedMemoryArray(dev, entry_bytes=28, max_density=1.5)
+
+    def test_cob_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            COBConfig(block_bytes=0)
+        with pytest.raises(ConfigurationError):
+            COBConfig(initial_slots=100)
+        with pytest.raises(ConfigurationError):
+            COBConfig(fanout=1)
+        with pytest.raises(ConfigurationError):
+            COBConfig(buffer_bytes=0)
+        with pytest.raises(ConfigurationError):
+            COBConfig(rebuild_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            # Weight trigger unreachable when rebuild_factor >= fanout.
+            COBConfig(fanout=4, rebuild_factor=4.0)
+
+    def test_sentinel_key_rejected(self):
+        pma, _ = make_pma()
+        with pytest.raises(TreeError):
+            pma.insert(int(EMPTY), 0)
+
+
+class TestPMAStructure:
+    def _insert_via_search(self, pma, key):
+        """Successor slot by linear scan (the search layer in miniature)."""
+        occupied = np.flatnonzero(pma.keys != EMPTY)
+        larger = occupied[pma.keys[occupied] >= key]
+        slot = int(larger[0]) if larger.size else pma.capacity - 1
+        pma.insert(key, slot)
+
+    def test_sorted_after_random_inserts(self):
+        pma, _ = make_pma()
+        rng = np.random.default_rng(0)
+        keys = rng.choice(10_000, size=200, replace=False)
+        for k in keys:
+            self._insert_via_search(pma, int(k))
+            pma.check_invariants()
+        assert pma.n == 200
+        assert list(pma.present_keys()) == sorted(int(k) for k in keys)
+
+    def test_growth_doubles_capacity(self):
+        pma, _ = make_pma(initial_slots=8)
+        for k in range(1, 60):
+            self._insert_via_search(pma, k)
+        assert pma.resizes >= 1
+        assert pma.capacity >= 64
+        assert pma.n == 59
+        pma.check_invariants()
+
+    def test_density_band_across_growth(self):
+        # Window thresholds steer rebalancing, not a hard global cap: a
+        # segment may fill completely before its ancestors overflow.  The
+        # durable guarantees are (a) capacity is never exceeded and (b)
+        # right after a resize the array is at least half the max density
+        # (so growth is geometric, not thrashing).
+        pma, _ = make_pma(initial_slots=16, max_density=0.7)
+        resizes_seen = 0
+        for k in range(1, 200):
+            self._insert_via_search(pma, k)
+            assert pma.n <= pma.capacity
+            if pma.resizes > resizes_seen:
+                resizes_seen = pma.resizes
+                assert pma.n >= pma.max_density / 2 * pma.capacity
+        assert resizes_seen >= 3
+        pma.check_invariants()
+
+    def test_delete_blanks_slot(self):
+        pma, _ = make_pma()
+        for k in (10, 20, 30):
+            self._insert_via_search(pma, k)
+        slot = int(np.flatnonzero(pma.keys == 20)[0])
+        pma.delete(slot)
+        assert pma.n == 2
+        assert list(pma.present_keys()) == [10, 30]
+        with pytest.raises(TreeError):
+            pma.delete(slot)  # already blank
+        pma.check_invariants()
+
+    def test_bulk_insert_one_rebalance(self):
+        pma, _ = make_pma(initial_slots=64)
+        for k in (100, 500):
+            self._insert_via_search(pma, k)
+        before = pma.rebalances
+        run = np.array([200, 300, 400], dtype=np.int64)
+        slot = int(np.flatnonzero(pma.keys == 500)[0])
+        pma.bulk_insert(run, slot, slot)
+        assert pma.rebalances == before + 1
+        assert list(pma.present_keys()) == [100, 200, 300, 400, 500]
+        pma.check_invariants()
+
+    def test_bulk_insert_rejects_unsorted(self):
+        pma, _ = make_pma()
+        with pytest.raises(TreeError):
+            pma.bulk_insert(np.array([3, 1], dtype=np.int64), 0, 0)
+
+    def test_load_and_reload_guard(self):
+        pma, _ = make_pma(initial_slots=8)
+        keys = np.arange(1, 50, dtype=np.int64) * 3
+        pma.load(keys)
+        assert pma.n == keys.size
+        assert list(pma.present_keys()) == list(keys)
+        pma.check_invariants()
+        with pytest.raises(TreeError):
+            pma.load(keys)
+
+    def test_load_rejects_unsorted(self):
+        pma, _ = make_pma()
+        with pytest.raises(TreeError):
+            pma.load(np.array([5, 2], dtype=np.int64))
+
+    def test_charges_io(self):
+        pma, dev = make_pma()
+        self._insert_via_search(pma, 42)
+        assert dev.stats.writes >= 1  # a rebalance rewrites its window
+
+
+class TestCOBTree:
+    def test_get_put_roundtrip(self):
+        tree, _ = make_tree()
+        for k in (5, 1, 9, 3):
+            tree.put(k, k * 10)
+        assert tree.get(5) == 50
+        assert tree.get(2) is None
+        assert 9 in tree
+        assert 4 not in tree
+        tree.check_invariants()
+
+    def test_overwrite_keeps_count(self):
+        tree, _ = make_tree()
+        tree.put(7, "a")
+        tree.put(7, "b")
+        assert len(tree) == 1
+        assert tree.get(7) == "b"
+        tree.check_invariants()
+
+    def test_model_based_random_ops(self):
+        tree, _ = make_tree()
+        model = {}
+        rng = np.random.default_rng(1)
+        for _ in range(500):
+            k = int(rng.integers(0, 300))
+            op = rng.integers(0, 4)
+            if op < 2:
+                v = int(rng.integers(0, 10**6))
+                tree.put(k, v)
+                model[k] = v
+            elif op == 2:
+                assert tree.get(k) == model.get(k)
+            elif k in model:
+                tree.delete(k)
+                del model[k]
+        tree.check_invariants()
+        assert list(tree.items()) == sorted(model.items())
+
+    def test_growth_through_index_rebuild(self):
+        tree, _ = make_tree()
+        for k in range(1, 400):
+            tree.put(k, k)
+        assert tree.pma.resizes >= 1
+        assert tree.index_rebuilds >= 1
+        assert len(tree) == 399
+        tree.check_invariants()
+
+    def test_delete_missing_raises(self):
+        tree, _ = make_tree()
+        tree.put(1, 1)
+        with pytest.raises(TreeError):
+            tree.delete(2)
+
+    def test_range_and_items(self):
+        tree, _ = make_tree()
+        for k in range(0, 100, 7):
+            tree.put(k, -k)
+        assert tree.range(10, 30) == [(14, -14), (21, -21), (28, -28)]
+        assert tree.range(30, 10) == []
+        assert tree.range(200, 300) == []
+        assert list(tree.items()) == [(k, -k) for k in range(0, 100, 7)]
+
+    def test_bulk_load_matches_serial(self):
+        pairs = [(k, k * 2) for k in range(1, 200, 3)]
+        loaded, _ = make_tree()
+        loaded.bulk_load(pairs)
+        serial, _ = make_tree()
+        for k, v in pairs:
+            serial.put(k, v)
+        assert list(loaded.items()) == list(serial.items())
+        loaded.check_invariants()
+        with pytest.raises(TreeError):
+            loaded.bulk_load(pairs)
+        bad, _ = make_tree()
+        with pytest.raises(KeyOrderError):
+            bad.bulk_load([(3, 0), (1, 0)])
+
+    def test_put_bulk_matches_serial_contents(self):
+        base = [(k, k) for k in range(0, 50, 5)]
+        bulk_tree, _ = make_tree()
+        bulk_tree.bulk_load(base)
+        serial, _ = make_tree()
+        serial.bulk_load(base)
+        batch = [(k, k * 3) for k in range(1, 40, 4)]
+        bulk_tree.put_bulk(batch)
+        for k, v in batch:
+            serial.put(k, v)
+        assert list(bulk_tree.items()) == list(serial.items())
+        bulk_tree.check_invariants()
+        with pytest.raises(KeyOrderError):
+            bulk_tree.put_bulk([(9, 0), (2, 0)])
+
+    def test_put_bulk_pure_overwrite(self):
+        tree, _ = make_tree()
+        tree.bulk_load([(k, 0) for k in range(10)])
+        rebalances = tree.pma.rebalances
+        tree.put_bulk([(2, "x"), (5, "y")])
+        assert tree.pma.rebalances == rebalances  # no structural change
+        assert tree.get(2) == "x" and tree.get(5) == "y"
+        tree.check_invariants()
+
+    def test_queries_charge_io_beyond_pinned_top(self):
+        # A tiny RAM budget leaves most index levels unpinned: queries on
+        # a large-enough tree must touch the device.
+        tree, dev = make_tree(ram_bytes=64)
+        tree.bulk_load([(k, k) for k in range(2000)])
+        reads_before = dev.stats.reads
+        tree.get(1234)
+        assert dev.stats.reads > reads_before
+
+    def test_pinned_index_makes_searches_free(self):
+        # A RAM budget bigger than the whole index: query misses read
+        # nothing at all, hits only the data block.
+        tree, dev = make_tree(ram_bytes=1 << 24)
+        tree.bulk_load([(k, k) for k in range(500)])
+        reads_before = dev.stats.reads
+        assert tree.get(10**9) is None  # miss: no data block either
+        assert dev.stats.reads == reads_before
+
+    def test_no_node_size_knob(self):
+        # block_bytes prices IO but never changes the structure.
+        small, _ = make_tree(block_bytes=512)
+        large, _ = make_tree(block_bytes=1 << 20)
+        for k in range(1, 300, 2):
+            small.put(k, k)
+            large.put(k, k)
+        assert np.array_equal(small.pma.keys, large.pma.keys)
+        assert small.pma.capacity == large.pma.capacity
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=-(10**6), max_value=10**6),
+            min_size=1,
+            max_size=120,
+        )
+    )
+    def test_hypothesis_matches_dict(self, keys):
+        tree, _ = make_tree()
+        model = {}
+        for k in keys:
+            tree.put(k, k ^ 1)
+            model[k] = k ^ 1
+        tree.check_invariants()
+        assert list(tree.items()) == sorted(model.items())
+        for k in keys:
+            assert tree.get(k) == model[k]
+
+
+class TestBufferedCOBTree:
+    def test_roundtrip_through_buffers(self):
+        tree, _ = make_tree(BufferedCOBTree)
+        for k in (5, 1, 9):
+            tree.put(k, k * 10)
+        # Unflushed messages answer queries.
+        assert tree.get(5) == 50
+        tree.flush_all()
+        assert tree.get(5) == 50
+        assert tree.get(4) is None
+        tree.check_invariants()
+
+    def test_matches_dict_with_deletes(self):
+        tree, _ = make_tree(BufferedCOBTree, buffer_bytes=1 << 10)
+        model = {}
+        rng = np.random.default_rng(3)
+        for _ in range(800):
+            k = int(rng.integers(0, 250))
+            if rng.integers(0, 3) < 2:
+                v = int(rng.integers(0, 10**6))
+                tree.put(k, v)
+                model[k] = v
+            else:
+                tree.delete(k)
+                model.pop(k, None)
+        assert sorted(tree.items()) == sorted(model.items())
+        tree.flush_all()
+        tree.check_invariants()
+        assert sorted(tree.items()) == sorted(model.items())
+
+    def test_small_buffers_force_flushes(self):
+        tree, _ = make_tree(BufferedCOBTree, buffer_bytes=512)
+        for k in range(300):
+            tree.put(k, k)
+        assert tree.flushes > 0
+        assert len(tree.base) > 0
+        tree.check_invariants()
+
+    def test_skew_triggers_splitter_rebuild(self):
+        tree, _ = make_tree(
+            BufferedCOBTree, fanout=4, buffer_bytes=512, rebuild_factor=1.5
+        )
+        tree.bulk_load([(k, k) for k in range(0, 4000, 10)])
+        assert len(tree.splitters) == 3  # seeded at load
+        rebuilds = tree.splitter_rebuilds
+        # Hammer one narrow key range: its bucket absorbs far more than
+        # its fair share and must trigger a weight-balanced rebuild.
+        for i in range(2000):
+            tree.put(4000 + (i % 7), i)
+        assert tree.splitter_rebuilds > rebuilds
+        tree.check_invariants()
+
+    def test_bulk_load_and_guard(self):
+        pairs = [(k, k) for k in range(1, 100, 3)]
+        tree, _ = make_tree(BufferedCOBTree)
+        tree.bulk_load(pairs)
+        assert sorted(tree.items()) == pairs
+        tree.put(0, 0)
+        with pytest.raises(TreeError):
+            tree.bulk_load(pairs)
+
+    def test_range_merges_buffers(self):
+        tree, _ = make_tree(BufferedCOBTree)
+        tree.bulk_load([(k, "old") for k in range(0, 40, 4)])
+        tree.put(8, "new")
+        tree.delete(12)
+        got = tree.range(0, 20)
+        assert (8, "new") in got
+        assert all(k != 12 for k, _ in got)
+
+    def test_buffered_inserts_cost_less_io_than_base(self):
+        # The Theorem 9 trade: buffering makes the insert path cheaper
+        # (fewer, bigger PMA rebalances) at some query-read cost.
+        pairs = [(int(k), 0) for k in np.random.default_rng(5).permutation(3000)]
+        base, base_dev = make_tree(COBTree)
+        base.put_many(pairs)
+        buf, buf_dev = make_tree(BufferedCOBTree)
+        buf.put_many(pairs)
+        buf.flush_all()
+        assert buf_dev.stats.bytes_written < base_dev.stats.bytes_written
+        assert sorted(buf.items()) == sorted(base.items())

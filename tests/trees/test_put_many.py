@@ -11,10 +11,13 @@ the comparison bit-exact in simulated seconds, not just op counts.
 import numpy as np
 import pytest
 
+from repro.obs import OBS
 from repro.storage.hdd import HDDGeometry, SimulatedHDD
 from repro.storage.stack import StorageStack
 from repro.trees.betree import BeTree, BeTreeConfig, OptimizedBeTree
 from repro.trees.btree import BTree, BTreeConfig
+from repro.trees.cob import BufferedCOBTree, COBConfig, COBTree
+from repro.trees.cola import COLA, COLAConfig
 from repro.trees.lsm import LSMConfig, LSMTree
 from repro.trees.sizing import EntryFormat
 
@@ -51,11 +54,31 @@ def _make_lsm():
     return LSMTree(dev, LSMConfig(memtable_bytes=1 << 12, sstable_bytes=1 << 14)), dev
 
 
+def _make_cola():
+    dev = _hdd()
+    return COLA(dev, COLAConfig(fmt=EntryFormat(value_bytes=20))), dev
+
+
+def _make_cob():
+    dev = _hdd()
+    return COBTree(dev, COBConfig(fmt=EntryFormat(value_bytes=20))), dev
+
+
+def _make_buffered_cob():
+    dev = _hdd()
+    return BufferedCOBTree(dev, COBConfig(fmt=EntryFormat(value_bytes=20))), dev
+
+
 TREES = {
     "btree": _make_btree,
     "betree": _make_betree,
     "betree-optimized": _make_opt_betree,
     "lsm": _make_lsm,
+    # PR 7 left COLA out of the batched fast path; it and the cob tier
+    # now carry the same serial-identity contract as every other tree.
+    "cola": _make_cola,
+    "cob": _make_cob,
+    "cob-buffered": _make_buffered_cob,
 }
 
 
@@ -108,6 +131,30 @@ def test_put_many_empty_and_iterator_inputs(name):
     tree.put_many([])
     tree.put_many(iter([(1, 2), (3, 4)]))
     assert tree.get(1) == 2 and tree.get(3) == 4
+
+
+@pytest.mark.parametrize("name", ["cola", "cob", "cob-buffered"])
+@pytest.mark.parametrize("obs_on", [False, True])
+def test_batched_ops_identical_with_obs_on_off(name, obs_on, monkeypatch):
+    # The PR 7 regression gate for the trees that missed the batched fast
+    # path: put_many AND get_many must leave byte-identical device stats
+    # to the per-op loops, with observability recording on or off.
+    monkeypatch.setattr(OBS, "enabled", obs_on)
+    pairs = _pairs(n=1200, universe=20_000)
+    query_keys = [k for k, _ in _pairs(n=400, universe=25_000, seed=29)]
+
+    serial_tree, serial_dev = TREES[name]()
+    for k, v in pairs:
+        serial_tree.insert(k, v)
+    serial_hits = [serial_tree.get(k) for k in query_keys]
+
+    batch_tree, batch_dev = TREES[name]()
+    batch_tree.put_many(pairs)
+    batch_hits = batch_tree.get_many(query_keys)
+
+    assert batch_hits == serial_hits
+    assert batch_dev.clock == serial_dev.clock  # exact float equality
+    assert vars(batch_dev.stats) == vars(serial_dev.stats)
 
 
 def test_put_many_interleaves_with_serial_ops():

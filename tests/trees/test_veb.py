@@ -55,6 +55,73 @@ class TestStaticSearchTree:
         assert tree.n_nodes == 2 * 128 - 1
         assert all(tree.contains(int(k)) for k in keys)
 
+    def test_single_key(self):
+        tree = StaticSearchTree([42])
+        assert tree.contains(42)
+        assert not tree.contains(41)
+        assert not tree.contains(43)
+        path = tree.search_path(42)
+        assert path[0] == 0 and len(path) == tree.height
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 64, 1024])
+    def test_exact_power_of_two_counts(self, n):
+        # No padded leaves: every leaf is a real key.
+        keys = np.arange(1, n + 1) * 7
+        tree = StaticSearchTree(keys)
+        assert tree.n_nodes == 2 * n - 1
+        assert all(tree.contains(int(k)) for k in keys)
+        assert not tree.contains(int(keys[-1]) + 7)
+
+    def test_int64_max_key_without_padding(self):
+        # An exact power-of-two count needs no pad sentinel, so the
+        # maximum representable key is legal as the largest key.
+        top = np.iinfo(np.int64).max
+        keys = np.array([1, 5, 9, top], dtype=np.int64)
+        tree = StaticSearchTree(keys)
+        for k in keys:
+            assert tree.contains(int(k))
+        assert not tree.contains(2)
+
+    def test_int64_max_key_with_padding_rejected(self):
+        # 3 keys -> 4 leaves: the pad sentinel would have to exceed
+        # INT64_MAX, which wrapped to INT64_MIN before the fix and
+        # corrupted every search right of the real keys.
+        top = np.iinfo(np.int64).max
+        with pytest.raises(ConfigurationError):
+            StaticSearchTree(np.array([1, 5, top], dtype=np.int64))
+
+    def test_near_max_key_with_padding_ok(self):
+        # One below the boundary still pads fine.
+        top = np.iinfo(np.int64).max - 1
+        tree = StaticSearchTree(np.array([1, 5, top], dtype=np.int64))
+        assert tree.contains(top)
+        assert not tree.contains(top - 1)
+
+    @pytest.mark.parametrize("n", [1, 2, 5, 16, 100, 512])
+    def test_nodes_at_depth_cohorts(self, n):
+        # At every scale, each depth cohort under the root is contiguous,
+        # sized 2^d, and the cohorts tile the whole heap.
+        tree = StaticSearchTree(np.arange(1, n + 1))
+        seen = []
+        for d in range(tree.height):
+            cohort = tree.nodes_at_depth(0, d)
+            assert len(cohort) == 1 << d
+            assert list(cohort) == list(
+                range(cohort.start, cohort.start + (1 << d))
+            )
+            seen.extend(cohort)
+        assert seen == list(range(tree.n_nodes))
+
+    def test_nodes_at_depth_subtree_roots(self):
+        tree = StaticSearchTree(np.arange(1, 17))
+        # Cohorts of an internal root stay inside its subtree and line up
+        # with its children's cohorts one level down.
+        for root in (1, 2, 3):
+            kids = tree.nodes_at_depth(root, 1)
+            assert list(kids) == [2 * root + 1, 2 * root + 2]
+            grand = tree.nodes_at_depth(root, 2)
+            assert grand.start == 2 * (2 * root + 1) + 1
+
 
 class TestVEBLayout:
     @pytest.mark.parametrize("height", [1, 2, 3, 4, 5, 8, 13])
