@@ -38,7 +38,7 @@ from typing import Any, Iterable, Iterator
 from repro.errors import TreeError
 from repro.storage.allocator import ExtentAllocator
 from repro.storage.device import BlockDevice
-from repro.trees.cob.tree import COBConfig, COBTree
+from repro.trees.cob.tree import COBConfig, COBTree, KEY_MAX, KEY_MIN
 from repro.trees.lsm.sstable import TOMBSTONE
 
 
@@ -98,8 +98,8 @@ class BufferedCOBTree:
         """
         if b > len(self.splitters):
             return 1, 0
-        lo = self.splitters[b - 1] + 1 if b > 0 else -(1 << 62)
-        hi = self.splitters[b] if b < len(self.splitters) else 1 << 62
+        lo = self.splitters[b - 1] + 1 if b > 0 else KEY_MIN
+        hi = self.splitters[b] if b < len(self.splitters) else KEY_MAX
         return lo, hi
 
     # -- write path ----------------------------------------------------------
@@ -110,6 +110,11 @@ class BufferedCOBTree:
         bucket = self.buckets[b]
         if bucket.nbytes + self.config.fmt.message_bytes > self.config.buffer_bytes:
             self._flush(b)
+            # The flush may have seeded or rebuilt the splitters, so the
+            # bucket geometry can differ now; re-resolve the key's bucket
+            # (every bucket involved is freshly drained either way).
+            b = self._bucket_of(key)
+            bucket = self.buckets[b]
         before_blocks = self._occupied_blocks(bucket)
         bucket.messages.append((key, value))
         bucket.nbytes += self.config.fmt.message_bytes
@@ -275,7 +280,7 @@ class BufferedCOBTree:
 
     def items(self) -> Iterator[tuple[int, Any]]:
         """All pairs in key order."""
-        yield from self.range(-(1 << 62), 1 << 62)
+        yield from self.range(KEY_MIN, KEY_MAX)
 
     def __len__(self) -> int:
         return sum(1 for _ in self.items())

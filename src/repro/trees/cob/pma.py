@@ -140,7 +140,9 @@ class PackedMemoryArray:
         if new_keys.size == 0:
             lo = self.segment_of(slot_lo) * self.segment_slots
             return lo, lo, False
-        if np.any(np.diff(new_keys) <= 0):
+        # Compare, don't diff: int64 subtraction overflows when adjacent
+        # keys are more than 2^63 apart.
+        if np.any(new_keys[1:] <= new_keys[:-1]):
             raise TreeError("bulk_insert needs strictly increasing keys")
         return self._insert_sorted(new_keys, slot_lo, slot_hi)
 
@@ -240,7 +242,7 @@ class PackedMemoryArray:
         keys = np.asarray(sorted_keys, dtype=np.int64)
         if keys.size and bool(keys[0] == EMPTY):
             raise TreeError("the minimum int64 is reserved as the blank sentinel")
-        if keys.size and np.any(np.diff(keys) <= 0):
+        if keys.size and np.any(keys[1:] <= keys[:-1]):
             raise TreeError("load needs strictly increasing keys")
         capacity = self.capacity
         while keys.size > self.max_density * capacity:
@@ -306,7 +308,7 @@ class PackedMemoryArray:
         present = self.keys[self.keys != EMPTY]
         if present.size != self.n:
             raise TreeError(f"count mismatch: {present.size} present, n={self.n}")
-        if np.any(np.diff(present) <= 0):
+        if np.any(present[1:] <= present[:-1]):
             raise TreeError("present keys out of order")
         occupied = (self.keys != EMPTY).reshape(self.n_segments, -1).sum(axis=1)
         if not np.array_equal(occupied, self.seg_count):

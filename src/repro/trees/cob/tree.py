@@ -45,6 +45,10 @@ from repro.trees.btree.veb import VEBLayout
 from repro.trees.cob.pma import EMPTY, PackedMemoryArray
 from repro.trees.sizing import EntryFormat
 
+#: The key domain: any int64 except the PMA's blank sentinel (INT64_MIN).
+KEY_MIN = -(1 << 63) + 1
+KEY_MAX = (1 << 63) - 1
+
 
 @dataclass(frozen=True)
 class COBConfig:
@@ -306,7 +310,9 @@ class COBTree:
             return
         self.user_bytes_modified += self.config.fmt.entry_bytes * len(pairs)
         keys = np.array([k for k, _ in pairs], dtype=np.int64)
-        if np.any(np.diff(keys) <= 0):
+        # Compare, don't diff: int64 subtraction overflows when adjacent
+        # keys are more than 2^63 apart.
+        if np.any(keys[1:] <= keys[:-1]):
             raise KeyOrderError("put_bulk needs strictly increasing keys")
         fresh = np.array([int(k) not in self.values for k in keys], dtype=bool)
         for k, v in pairs:
@@ -326,6 +332,18 @@ class COBTree:
         slot_hi = self._slot_of(self._search_path(int(new_keys[-1])))
         lo, hi, resized = self.pma.bulk_insert(new_keys, slot_lo, slot_hi)
         self._update_index(lo, hi, resized)
+        if resized or fresh.all():
+            return
+        # Mixed batch: overwritten keys outside the rebalanced window never
+        # moved, so the window rewrite above did not cover them.  Charge
+        # their data blocks like the pure-overwrite branch does, one
+        # covering span on each side of the window.
+        slots = np.flatnonzero(np.isin(self.pma.keys, keys[~fresh]))
+        for side in (slots[slots < lo], slots[slots >= hi]):
+            if side.size:
+                self.pma._charge_span(
+                    int(side[0]), int(side[-1]) + 1, read=False, write=True
+                )
 
     def bulk_load(self, pairs: list[tuple[int, Any]]) -> None:
         """Load a key-sorted batch into an *empty* tree sequentially."""
@@ -334,7 +352,7 @@ class COBTree:
         if not pairs:
             return
         keys = np.array([k for k, _ in pairs], dtype=np.int64)
-        if np.any(np.diff(keys) <= 0):
+        if np.any(keys[1:] <= keys[:-1]):
             raise KeyOrderError("bulk_load needs strictly increasing keys")
         self.user_bytes_modified += self.config.fmt.entry_bytes * len(pairs)
         self.values = {int(k): v for k, v in pairs}
@@ -387,7 +405,7 @@ class COBTree:
 
     def items(self) -> Iterator[tuple[int, Any]]:
         """All pairs in key order."""
-        yield from self.range(-(1 << 62), 1 << 62)
+        yield from self.range(KEY_MIN, KEY_MAX)
 
     def __len__(self) -> int:
         return self.pma.n

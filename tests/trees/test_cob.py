@@ -258,6 +258,39 @@ class TestCOBTree:
         with pytest.raises(KeyOrderError):
             bulk_tree.put_bulk([(9, 0), (2, 0)])
 
+    def test_items_cover_extreme_keys(self):
+        # Regression: items()/range() used +/-2^62 pseudo-infinities, so
+        # legally stored keys beyond them vanished from iteration.
+        lo_key, hi_key = -(1 << 62) - 7, (1 << 62) + 5
+        tree, _ = make_tree()
+        tree.put(hi_key, "hi")
+        tree.put(lo_key, "lo")
+        tree.put((1 << 63) - 1, "max")
+        assert list(tree.items()) == [
+            (lo_key, "lo"),
+            (hi_key, "hi"),
+            ((1 << 63) - 1, "max"),
+        ]
+        assert len(tree) == 3
+        tree.check_invariants()
+
+    def test_put_bulk_mixed_charges_outside_overwrites(self):
+        # Regression: in a mixed fresh/overwrite batch, overwritten keys
+        # outside the rebalanced window used to update only the value
+        # dict, with zero device traffic.
+        pairs = [(k, 0) for k in range(0, 1000, 10)]
+        fresh_only, dev_f = make_tree()
+        fresh_only.bulk_load(pairs)
+        mixed, dev_m = make_tree()
+        mixed.bulk_load(pairs)
+        base_f = dev_f.stats.bytes_written
+        base_m = dev_m.stats.bytes_written
+        fresh_only.put_bulk([(501, "new")])
+        mixed.put_bulk([(0, "x"), (501, "new"), (990, "y")])
+        assert dev_m.stats.bytes_written - base_m > dev_f.stats.bytes_written - base_f
+        assert mixed.get(0) == "x" and mixed.get(990) == "y"
+        mixed.check_invariants()
+
     def test_put_bulk_pure_overwrite(self):
         tree, _ = make_tree()
         tree.bulk_load([(k, 0) for k in range(10)])
@@ -384,6 +417,38 @@ class TestBufferedCOBTree:
         got = tree.range(0, 20)
         assert (8, "new") in got
         assert all(k != 12 for k, _ in got)
+
+    def test_append_reresolves_bucket_after_seeding_flush(self):
+        # Regression: the overflow flush inside _append can seed (or
+        # rebuild) the splitters, remapping the key space; the pending
+        # message must land in the bucket that owns the key *after* the
+        # flush, or it becomes unreachable.
+        tree, _ = make_tree(
+            BufferedCOBTree, fanout=4, buffer_bytes=512, rebuild_factor=3.9
+        )
+        k = 0
+        while not tree.splitters:  # first overflow flush seeds them
+            tree.put(k, k)
+            k += 1
+        tree.put(10_000_000, -1)
+        assert tree.get(10_000_000) == -1
+        tree.check_invariants()
+        assert sorted(tree.items()) == sorted(
+            [(i, i) for i in range(k)] + [(10_000_000, -1)]
+        )
+
+    def test_buffered_extreme_keys_visible(self):
+        # Regression: bucket bounds used +/-2^62 pseudo-infinities, so a
+        # key beyond them tripped check_invariants and vanished from
+        # items() even though get() found it.
+        big = (1 << 62) + 5
+        tree, _ = make_tree(BufferedCOBTree)
+        tree.put(big, 1)
+        tree.check_invariants()  # bucket 0 owns the whole key domain
+        assert sorted(tree.items()) == [(big, 1)]
+        tree.flush_all()
+        assert tree.get(big) == 1
+        assert sorted(tree.items()) == [(big, 1)]
 
     def test_buffered_inserts_cost_less_io_than_base(self):
         # The Theorem 9 trade: buffering makes the insert path cheaper
