@@ -1,6 +1,6 @@
 # Convenience targets; see README.md.
 
-.PHONY: install test lint bench engine-bench experiments examples serve-quick cob all
+.PHONY: install test lint bench engine-bench experiments examples serve-quick cob recovery e21-quick all
 
 install:
 	pip install -e .
@@ -32,6 +32,19 @@ cob:
 	PYTHONPATH=src python -m pytest tests/trees/test_cob.py tests/trees/test_veb.py tests/trees/test_put_many.py -q
 	PYTHONPATH=src python -m repro.lint src/repro/trees/cob
 	PYTHONPATH=src python -m repro.experiments cob --quick --no-cache
+
+# The durability layer: its tests + the sampled crash-consistency checker.
+recovery:
+	PYTHONPATH=src python -m pytest tests/recovery tests/faults/test_crash.py tests/serve/test_crash_failover.py -q
+	PYTHONPATH=src python -c "from repro.recovery import RECOVERY_TREES, run_check; \
+	reports = {t: run_check(t, n_ops=60, mode='sample', samples=16, seed=0) for t in RECOVERY_TREES}; \
+	[print(t, r.describe()) for t, r in reports.items()]; \
+	assert all(r.passed for r in reports.values())"
+
+# The E21 quick sweep + its durability gates.
+e21-quick:
+	PYTHONPATH=src python -m repro.experiments durability --quick --no-cache
+	PYTHONPATH=src python benchmarks/bench_durability.py --smoke
 
 examples:
 	python examples/quickstart.py

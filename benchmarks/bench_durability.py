@@ -1,0 +1,173 @@
+"""repro.recovery: E21 durability gates on the WAL write path.
+
+Three gates on the committed durability numbers:
+
+1. **Recovery correctness** — every swept point crashes mid-stream,
+   recovers, and must match the acked-prefix dict model
+   (``recovered_ok`` on every row).  A sweep that stops recovering
+   correctly is not a performance regression, it is a broken promise.
+2. **Model-dependent optimum** — the affine model's cost-minimizing
+   group-commit batch must be strictly larger than the DAM's, and the
+   PDAM's must agree with the DAM's: the Corollary 6/7 argument applied
+   to the write path.  If the optima collapse together, the cost models
+   have stopped differentiating the write path.
+3. **WAL overhead bound** — at batch ``k >= 8`` the log's share of the
+   run must stay below ``WAL_FRAC_BOUND`` on the DAM: group commit
+   exists to amortize the log out of the write path.
+
+Plus the standing **determinism** gate: re-running the sweep through the
+runner at ``jobs=2`` must reproduce identical rows.
+
+Run standalone to append a record to ``BENCH_durability.json`` at the
+repo root::
+
+    PYTHONPATH=src python benchmarks/bench_durability.py [--smoke]
+
+``--smoke`` shrinks the sweep to about a second of runtime.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.experiments import exp_durability
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_durability.json"
+
+FULL = dict(seed=0)
+
+SMOKE = dict(quick=True, seed=0)
+
+#: DAM-model WAL share of the run at batch k >= 8 must stay below this.
+WAL_FRAC_BOUND = 0.5
+
+#: Expected gate strictness per config, recorded into every BENCH record.
+#: The smoke sweep keeps all three devices, so the separation gate stays
+#: strict even there; unknown config names raise — a new config must
+#: declare its expectations here.
+GATES = {
+    "full": {"separation_strict": True, "wal_frac_strict": True},
+    "smoke": {"separation_strict": True, "wal_frac_strict": True},
+}
+
+
+def _run(config, *, jobs=1):
+    t0 = time.perf_counter()
+    result = exp_durability.run(jobs=jobs, cache=None, **config)
+    return result, time.perf_counter() - t0
+
+
+def _measure(config):
+    result, wall = _run(config)
+    rerun, _ = _run(config, jobs=2)
+    ckpt0 = result.checkpoints[0]
+    optima = {d: result.argmin_batch(d, checkpoint_every=ckpt0) for d in result.devices}
+    dam_rows = [
+        r
+        for r in result.rows
+        if r["device"] == "dam" and r["group_commit"] >= 8
+    ]
+    return {
+        "seed": config.get("seed", 0),
+        "devices": list(result.devices),
+        "group_commits": list(result.group_commits),
+        "checkpoints": list(result.checkpoints),
+        "crash_rate": result.crash_rate,
+        "wall_s": wall,
+        "deterministic_across_jobs": result.rows == rerun.rows,
+        "all_recovered_ok": all(r["recovered_ok"] for r in result.rows),
+        "argmin_batch": optima,
+        "dam_wal_frac_at_k8": max(r["wal_frac"] for r in dam_rows),
+        "rows": [
+            {
+                "device": r["device"],
+                "group_commit": r["group_commit"],
+                "checkpoint_every": r["checkpoint_every"],
+                "run_per_op_ms": round(r["run_per_op_ms"], 4),
+                "wal_frac": round(r["wal_frac"], 4),
+                "exposure": round(r["exposure"], 2),
+                "lost_ops": r["lost_ops"],
+                "replayed": r["replayed"],
+                "recovery_ms": round(r["recovery_ms"], 3),
+                "cost_per_op_ms": round(r["cost_per_op_ms"], 4),
+                "recovered_ok": r["recovered_ok"],
+            }
+            for r in result.rows
+        ],
+    }
+
+
+def _check(m, *, config_name):
+    """Run the gates for ``config_name``; return the gate outcomes."""
+    gates = GATES[config_name]  # KeyError = undeclared config, on purpose
+    optima = m["argmin_batch"]
+    outcomes = {
+        "separation_strict": gates["separation_strict"],
+        "wal_frac_strict": gates["wal_frac_strict"],
+        "wal_frac_bound": WAL_FRAC_BOUND,
+        "separation_ok": optima["affine"] > optima["dam"],
+        "pdam_agrees_with_dam": optima["pdam"] == optima["dam"],
+        "wal_frac_ok": m["dam_wal_frac_at_k8"] < WAL_FRAC_BOUND,
+    }
+    assert m["deterministic_across_jobs"], (
+        "durability sweep differs across job counts"
+    )
+    assert m["all_recovered_ok"], (
+        "a swept point failed the acked-prefix recovery check"
+    )
+    if gates["separation_strict"]:
+        assert outcomes["separation_ok"], (
+            f"affine-optimal batch ({optima['affine']}) should exceed the "
+            f"DAM-optimal one ({optima['dam']}): the models have stopped "
+            "differentiating the write path"
+        )
+        assert outcomes["pdam_agrees_with_dam"], (
+            f"PDAM-optimal batch ({optima['pdam']}) should match the DAM's "
+            f"({optima['dam']}): one commit blob fits one parallel step"
+        )
+    if gates["wal_frac_strict"]:
+        assert outcomes["wal_frac_ok"], (
+            f"WAL share at k>=8 on the DAM is {m['dam_wal_frac_at_k8']:.2f}, "
+            f"over the {WAL_FRAC_BOUND} bound: group commit has stopped "
+            "amortizing the log"
+        )
+    return outcomes
+
+
+def bench_durability(benchmark, show):
+    m = benchmark.pedantic(lambda: _measure(FULL), rounds=1, iterations=1)
+    optima = m["argmin_batch"]
+    show(
+        f"E21 cost-minimizing batch: dam k*={optima['dam']}, "
+        f"affine k*={optima['affine']}, pdam k*={optima['pdam']}; "
+        f"all recovered: {m['all_recovered_ok']}; "
+        f"deterministic across jobs: {m['deterministic_across_jobs']}"
+    )
+    benchmark.extra_info["argmin_dam"] = optima["dam"]
+    benchmark.extra_info["argmin_affine"] = optima["affine"]
+    benchmark.extra_info["argmin_pdam"] = optima["pdam"]
+    _check(m, config_name="full")
+
+
+def main(argv):
+    config_name = "smoke" if "--smoke" in argv else "full"
+    config = SMOKE if config_name == "smoke" else FULL
+    m = _measure(config)
+    m["gates"] = _check(m, config_name=config_name)
+    record = {"config": config_name}
+    record.update(
+        {k: round(v, 4) if isinstance(v, float) else v for k, v in m.items()}
+    )
+    history = []
+    if BENCH_JSON.exists():
+        history = json.loads(BENCH_JSON.read_text())
+    history.append(record)
+    BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
+    print(json.dumps({k: v for k, v in record.items() if k != "rows"}, indent=2))
+    print(f"appended to {BENCH_JSON} ({len(record['rows'])} rows)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1:])

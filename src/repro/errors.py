@@ -43,6 +43,24 @@ class TransientIOError(StorageError):
     """
 
 
+class DeviceCrashed(StorageError):
+    """The device died mid-run (see :mod:`repro.faults.crash`).
+
+    Carries the frozen crash state (``.state``) describing the IO that was
+    in flight — including how many of its bytes persisted (torn writes).
+    Unlike :class:`TransientIOError`, retrying cannot help: the device
+    refuses all IO until its ``recover()`` method is called.
+    """
+
+    def __init__(self, message: str, state: object = None) -> None:
+        super().__init__(message)
+        self.state = state
+
+
+class WALError(StorageError):
+    """The write-ahead log hit an unrecoverable condition (e.g. extent full)."""
+
+
 class CacheError(StorageError):
     """Buffer-cache invariant violation (e.g. unpinning an unpinned block)."""
 

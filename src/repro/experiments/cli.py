@@ -15,6 +15,7 @@ from repro.experiments import (
     exp_betree_nodesize,
     exp_btree_nodesize,
     exp_cob_compare,
+    exp_durability,
     exp_epsilon_tradeoff,
     exp_lsm_nodesize,
     exp_model_error,
@@ -49,18 +50,19 @@ EXPERIMENTS: dict[str, Callable[[], object]] = {
     "tailres": exp_tail_resilience.run,
     "serve": exp_serve_tail.run,
     "cob": exp_cob_compare.run,
+    "durability": exp_durability.run,
 }
 
 #: Experiments migrated to repro.runner: these accept ``jobs=``/``cache=``.
 RUNNER_EXPERIMENTS = frozenset(
-    {"table2", "fig2", "fig3", "autotune", "tailres", "serve", "cob"}
+    {"table2", "fig2", "fig3", "autotune", "tailres", "serve", "cob", "durability"}
 )
 
 #: Experiments that understand the fault flags (--faults/--policy/--quick).
 FAULT_EXPERIMENTS = frozenset({"tailres", "serve"})
 
 #: Runner experiments with a CI-smoke ``quick=`` switch (no fault flags).
-QUICK_EXPERIMENTS = frozenset({"cob"})
+QUICK_EXPERIMENTS = frozenset({"cob", "durability"})
 
 
 def _run_one(

@@ -10,20 +10,27 @@ The robustness layer of the simulator:
   its own RNG stream, so fault-free runs stay byte-identical;
 * :class:`~repro.faults.policy.ResiliencePolicy` — retry-with-backoff
   and hedged reads, interpreted by the faulty device, the storage stack
-  and the closed-loop engine.
+  and the closed-loop engine;
+* :class:`~repro.faults.crash.CrashPlan` — deterministic whole-device
+  crash points with torn-write semantics, the fault model behind the
+  :mod:`repro.recovery` durability layer.
 
 See docs/faults.md for the plan schema, the policy knobs, and the
 determinism guarantee; experiment E18 (``tailres``) measures the
 policies' effect on tail latency.
 """
 
+from repro.faults.crash import CRASH_SCHEMA, CrashPlan, CrashState
 from repro.faults.device import FaultyDevice
 from repro.faults.plan import PLAN_SCHEMA, DegradedPhase, FaultPlan
 from repro.faults.policy import POLICY_NAMES, FaultStats, ResiliencePolicy
 
 __all__ = [
+    "CRASH_SCHEMA",
     "PLAN_SCHEMA",
     "POLICY_NAMES",
+    "CrashPlan",
+    "CrashState",
     "DegradedPhase",
     "FaultPlan",
     "FaultStats",

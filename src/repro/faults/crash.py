@@ -1,0 +1,146 @@
+"""Crash plans: deterministic whole-device failure points.
+
+A :class:`CrashPlan` kills a device at a chosen IO ordinal or simulated
+time.  Unlike the per-IO faults of :class:`~repro.faults.plan.FaultPlan`
+(which perturb timings and let the run continue), a crash is terminal:
+the in-flight IO never completes, the wrapping
+:class:`~repro.faults.device.FaultyDevice` raises
+:class:`~repro.errors.DeviceCrashed` and refuses all further IO until
+``recover()`` is called — the simulation analogue of pulling the plug.
+
+**Torn writes.** The block in flight when the plug is pulled is persisted
+only up to a seeded fraction of its bytes (``torn=True``, the realistic
+default) or not at all (``torn=False``, an atomic-block device).  The
+fraction comes from the plan's own RNG stream, so the same plan tears the
+same write at the same byte on every run — which is what lets the WAL's
+torn-tail detection be tested deterministically.
+
+Plans serialize to JSON (schema :data:`CRASH_SCHEMA`); the loader rejects
+unknown schema versions and unknown fields by name, same contract as
+:meth:`~repro.faults.plan.FaultPlan.from_json`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+#: Schema tag written into exported crash plans, checked on load.
+CRASH_SCHEMA = "repro.faults.crash/v1"
+
+
+@dataclass(frozen=True)
+class CrashState:
+    """Frozen description of the IO a device died on.
+
+    ``persisted_bytes`` is the torn-write result: how many bytes of the
+    in-flight write reached the platter (always 0 for reads, and always
+    strictly fewer than ``nbytes`` — the IO did not complete).
+    """
+
+    ordinal: int
+    at_seconds: float
+    kind: str
+    offset: int
+    nbytes: int
+    persisted_bytes: int
+
+    def describe(self) -> dict[str, Any]:
+        """Stable JSON-able identity."""
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """When a device dies, and how much of the in-flight write survives.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the torn-write RNG stream (independent of the fault-plan
+        and every workload/device stream).
+    at_io:
+        Crash on the ``at_io``-th IO (0-based ordinal, counted from the
+        moment the plan is armed).  Exactly one of ``at_io``/``at_seconds``
+        must be set.
+    at_seconds:
+        Crash on the first IO issued at or after this simulated time
+        (the armed device's own clock).
+    torn:
+        Whether the in-flight write is torn (persisted up to a seeded
+        uniform fraction of its bytes) or lost atomically.
+    """
+
+    seed: int = 0
+    at_io: int | None = None
+    at_seconds: float | None = None
+    torn: bool = True
+
+    def __post_init__(self) -> None:
+        if (self.at_io is None) == (self.at_seconds is None):
+            raise ConfigurationError(
+                "exactly one of at_io / at_seconds must be set, got "
+                f"at_io={self.at_io!r}, at_seconds={self.at_seconds!r}"
+            )
+        if self.at_io is not None and self.at_io < 0:
+            raise ConfigurationError(f"at_io must be >= 0, got {self.at_io}")
+        if self.at_seconds is not None and self.at_seconds < 0:
+            raise ConfigurationError(
+                f"at_seconds must be >= 0, got {self.at_seconds}"
+            )
+
+    def fires_at(self, ordinal: int, at: float) -> bool:
+        """Whether the IO with this ordinal/start time is the crash point."""
+        if self.at_io is not None:
+            return ordinal >= self.at_io
+        return at >= self.at_seconds
+
+    # -- serialization -------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Canonical JSON of this plan (schema: docs/faults.md)."""
+        payload: dict[str, Any] = {"schema": CRASH_SCHEMA}
+        payload.update(asdict(self))
+        return json.dumps(payload, sort_keys=True, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CrashPlan":
+        """Parse a plan exported by :meth:`to_json`; fails loudly.
+
+        Unknown schema versions and unknown top-level fields raise a
+        :class:`~repro.errors.ConfigurationError` (a :class:`ValueError`)
+        naming the offending field — a typo in a crash plan must never
+        silently produce a run that doesn't crash.
+        """
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"crash plan is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ConfigurationError("crash plan JSON must be an object")
+        schema = payload.pop("schema", CRASH_SCHEMA)
+        if schema != CRASH_SCHEMA:
+            raise ConfigurationError(
+                f"unknown crash-plan schema {schema!r} (expected {CRASH_SCHEMA!r})"
+            )
+        unknown = set(payload) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ConfigurationError(f"unknown crash-plan fields: {sorted(unknown)}")
+        return cls(**payload)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "CrashPlan":
+        """Load a plan from a JSON file."""
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read crash plan {path}: {exc}") from exc
+        return cls.from_json(text)
+
+    def describe(self) -> dict[str, Any]:
+        """Stable JSON-able identity (for device fingerprints)."""
+        return asdict(self)

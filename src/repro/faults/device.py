@@ -34,7 +34,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ConfigurationError, TransientIOError
+from repro.errors import ConfigurationError, DeviceCrashed, TransientIOError
+from repro.faults.crash import CrashPlan, CrashState
 from repro.faults.plan import FaultPlan
 from repro.faults.policy import FaultStats, ResiliencePolicy
 from repro.obs import OBS
@@ -54,6 +55,11 @@ class FaultyDevice(BlockDevice):
         What to inject (see :class:`~repro.faults.plan.FaultPlan`).
     policy:
         How to react (default: :meth:`ResiliencePolicy.none`).
+    crash:
+        Optional :class:`~repro.faults.crash.CrashPlan`: die at a chosen
+        IO ordinal or simulated time.  The crashed device raises
+        :class:`~repro.errors.DeviceCrashed` on every IO until
+        :meth:`recover` is called; a plan fires at most once per arming.
     """
 
     def __init__(
@@ -62,6 +68,7 @@ class FaultyDevice(BlockDevice):
         plan: FaultPlan,
         *,
         policy: ResiliencePolicy | None = None,
+        crash: CrashPlan | None = None,
         trace: bool = False,
     ) -> None:
         if isinstance(inner, FaultyDevice):
@@ -72,6 +79,94 @@ class FaultyDevice(BlockDevice):
         self.policy = policy if policy is not None else ResiliencePolicy.none()
         self.fault_stats = FaultStats()
         self._rng = np.random.default_rng(plan.seed)
+        self.recoveries = 0
+        self.arm_crash(crash)
+
+    # -- crash lifecycle -----------------------------------------------------
+
+    def arm_crash(self, crash: CrashPlan | None) -> None:
+        """(Re-)arm a crash plan; ``None`` disarms.
+
+        Resets the IO ordinal to 0, so ``at_io`` counts IOs issued from
+        this moment on — which is how the serve layer arms crashes only
+        after load and warm-up.  Clears any existing crashed state.
+        """
+        self.crash = crash
+        self._crash_rng = (
+            np.random.default_rng(crash.seed) if crash is not None else None
+        )
+        self._crashed: CrashState | None = None
+        self._crash_spent = False
+        self._io_ordinal = 0
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the device is down (refusing IO until :meth:`recover`)."""
+        return self._crashed is not None
+
+    @property
+    def crash_state(self) -> CrashState | None:
+        """The IO the device died on, if it is (or was last) crashed."""
+        return self._crashed
+
+    @property
+    def io_ordinal(self) -> int:
+        """IOs issued since the crash plan was (dis)armed (crash-point space)."""
+        return self._io_ordinal
+
+    def recover(self) -> CrashState:
+        """Bring a crashed device back; returns the crash it recovers from.
+
+        The plan is spent: the device will not crash again until
+        :meth:`arm_crash` or :meth:`reset` re-arms it.  Recovery itself is
+        free at this layer — the *recovery IO* (log scan, replay) is real
+        traffic the caller issues afterwards.
+        """
+        if self._crashed is None:
+            raise ConfigurationError("recover() on a device that is not crashed")
+        state = self._crashed
+        self._crashed = None
+        self._crash_spent = True
+        self.recoveries += 1
+        return state
+
+    def _maybe_crash(self, kind: str, offset: int, nbytes: int, at: float) -> None:
+        """Raise :class:`DeviceCrashed` if this IO is (or follows) the crash."""
+        if self._crashed is not None:
+            raise DeviceCrashed(
+                f"device is crashed (since IO {self._crashed.ordinal}); "
+                "call recover() before issuing IO",
+                self._crashed,
+            )
+        crash = self.crash
+        if crash is None or self._crash_spent:
+            return
+        if not crash.fires_at(self._io_ordinal, at):
+            return
+        persisted = 0
+        if kind == "write" and crash.torn:
+            # The torn fraction comes from the crash plan's own stream, so
+            # the fault-plan RNG position stays byte-identical to a
+            # crash-free run right up to the crash point.
+            persisted = int(float(self._crash_rng.random()) * nbytes)
+        state = CrashState(
+            ordinal=self._io_ordinal,
+            at_seconds=at,
+            kind=kind,
+            offset=offset,
+            nbytes=nbytes,
+            persisted_bytes=persisted,
+        )
+        self._crashed = state
+        self.fault_stats.crashes += 1
+        if OBS.enabled:
+            OBS.counter("faults.injected").inc()
+            OBS.counter("faults.crashes").inc()
+        raise DeviceCrashed(
+            f"device crashed on {kind} #{state.ordinal} at offset {offset} "
+            f"({persisted}/{nbytes} bytes persisted)",
+            state,
+        )
 
     # -- fault pipeline ------------------------------------------------------
 
@@ -113,6 +208,8 @@ class FaultyDevice(BlockDevice):
         Returns the completion time; raises :class:`TransientIOError` when
         an injected error survives the retry budget.
         """
+        self._maybe_crash(kind, offset, nbytes, at)
+        self._io_ordinal += 1
         plan, policy = self.plan, self.policy
         inner_io = self.inner.read if kind == "read" else self.inner.write
         factor = plan.slowdown_at(at) if plan.degraded else 1.0
@@ -184,9 +281,16 @@ class FaultyDevice(BlockDevice):
         collapses to ``at + 0.0 + (base * 1.0 + 0.0)`` — exactly
         ``at + base``.  Hedging can still fire without faults (a slow clean
         read past the deadline), so reads additionally require it off;
-        writes are never hedged.
+        writes are never hedged.  An armed (unspent) crash plan — or an
+        already-crashed device — also disables the fast path: every IO of
+        the batch must run the per-IO pipeline so the crash lands on the
+        same ordinal, with the same torn-write draw, as a serial loop.
         """
         plan = self.plan
+        if self._crashed is not None or (
+            self.crash is not None and not self._crash_spent
+        ):
+            return False
         return (
             plan.spike_prob <= 0.0
             and plan.error_prob <= 0.0
@@ -212,6 +316,7 @@ class FaultyDevice(BlockDevice):
         stats = self.stats
         out: list[float] = []
         for off, base in zip(offs, bases):
+            self._io_ordinal += 1
             start = self.clock
             end = start + base
             elapsed = end - start
@@ -239,6 +344,7 @@ class FaultyDevice(BlockDevice):
         stats = self.stats
         out: list[float] = []
         for off, base in zip(offs, bases):
+            self._io_ordinal += 1
             start = self.clock
             end = start + base
             elapsed = end - start
@@ -264,14 +370,22 @@ class FaultyDevice(BlockDevice):
             plan=self.plan.describe(),
             policy=self.policy.describe(),
         )
+        if self.crash is not None:
+            d["crash"] = self.crash.describe()
         return d
 
     def reset(self) -> None:
-        """Reset wrapper clock/stats, fault counters, RNG, and the inner device."""
+        """Reset wrapper clock/stats, fault counters, RNGs, and the inner device.
+
+        Re-arms the crash plan (spent or not): a reset device is a fresh
+        run, so the plan fires again at the same point.
+        """
         super().reset()
         self.inner.reset()
         self.fault_stats.reset()
         self._rng = np.random.default_rng(self.plan.seed)
+        self.recoveries = 0
+        self.arm_crash(self.crash)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -191,6 +191,17 @@ class FaultPlan:
         unknown = set(payload) - known
         if unknown:
             raise ConfigurationError(f"unknown fault-plan fields: {sorted(unknown)}")
+        phase_fields = set(DegradedPhase.__dataclass_fields__)
+        for i, p in enumerate(phases):
+            if not isinstance(p, dict):
+                raise ConfigurationError(
+                    f"degraded[{i}] must be an object, got {type(p).__name__}"
+                )
+            bad = set(p) - phase_fields
+            if bad:
+                raise ConfigurationError(
+                    f"unknown degraded-phase fields in degraded[{i}]: {sorted(bad)}"
+                )
         try:
             degraded = tuple(DegradedPhase(**p) for p in phases)
         except TypeError as exc:

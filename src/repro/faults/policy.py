@@ -160,6 +160,7 @@ class FaultStats:
     spikes_injected: int = 0
     errors_injected: int = 0
     stalls_injected: int = 0
+    crashes: int = 0
     retries: int = 0
     retry_giveups: int = 0
     hedges_issued: int = 0
@@ -168,7 +169,12 @@ class FaultStats:
     @property
     def faults_injected(self) -> int:
         """Total faults of every kind."""
-        return self.spikes_injected + self.errors_injected + self.stalls_injected
+        return (
+            self.spikes_injected
+            + self.errors_injected
+            + self.stalls_injected
+            + self.crashes
+        )
 
     def reset(self) -> None:
         """Zero every counter (fresh experiment)."""

@@ -283,6 +283,48 @@ def serve_tail_point(
     )
 
 
+# -- E21: durability knobs (group commit, checkpoints) across cost models ----
+
+
+@register("durability_point")
+def durability_point(
+    *,
+    device: str,
+    tree: str,
+    group_commit: int,
+    checkpoint_every: int,
+    n_ops: int,
+    n_load: int,
+    universe: int,
+    node_bytes: int,
+    cache_bytes: int,
+    wal_bytes: int,
+    crash_rate: float,
+    loss_penalty: float,
+    crash_fraction: float,
+    seed: int,
+) -> dict[str, Any]:
+    """One (cost model, group commit, checkpoint) durable write-path point."""
+    from repro.experiments import exp_durability
+
+    return exp_durability.measure_durability(
+        device=device,
+        tree=tree,
+        group_commit=group_commit,
+        checkpoint_every=checkpoint_every,
+        n_ops=n_ops,
+        n_load=n_load,
+        universe=universe,
+        node_bytes=node_bytes,
+        cache_bytes=cache_bytes,
+        wal_bytes=wal_bytes,
+        crash_rate=crash_rate,
+        loss_penalty=loss_penalty,
+        crash_fraction=crash_fraction,
+        seed=seed,
+    )
+
+
 # -- E20: cache-oblivious tier vs knobbed trees across cost models -----------
 
 

@@ -42,7 +42,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeviceCrashed
 from repro.faults.policy import ResiliencePolicy
 from repro.obs import OBS
 from repro.serve.qos import AdmissionController, WeightedFairQueue
@@ -67,6 +67,7 @@ class TenantStats:
     admitted: int = 0
     dropped: int = 0
     served: int = 0
+    failovers: int = 0
     latencies: list[float] = field(default_factory=list)
 
     def percentiles(self) -> dict[str, float]:
@@ -84,6 +85,7 @@ class TenantStats:
             "admitted": self.admitted,
             "dropped": self.dropped,
             "served": self.served,
+            "failovers": self.failovers,
             "mean": float(np.mean(self.latencies)) if self.latencies else 0.0,
         }
         out.update(self.percentiles())
@@ -101,6 +103,9 @@ class ServeResult:
     hedges_won: int
     max_queue_depth: int
     io_seconds: float
+    crashes: int = 0
+    recoveries: int = 0
+    recovery_seconds: float = 0.0
 
     @property
     def served(self) -> int:
@@ -127,6 +132,9 @@ class ServeResult:
             "hedges_won": self.hedges_won,
             "max_queue_depth": self.max_queue_depth,
             "io_seconds": self.io_seconds,
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "recovery_seconds": self.recovery_seconds,
             "tenants": {name: s.describe() for name, s in self.tenants.items()},
         }
 
@@ -261,7 +269,27 @@ class RequestEngine:
                     round_tenants.append(tenant)
                     round_arrivals.append(arrived)
                     round_keys.append(key)
-                duration = shard.replicas[replica_idx].lookup_many(round_keys)
+                try:
+                    duration = shard.replicas[replica_idx].lookup_many(round_keys)
+                except DeviceCrashed:
+                    # Failover: the crashed replica occupies its pool slot
+                    # for the WAL-replay recovery (it leaves the hedging
+                    # pool exactly that long), and the round's requests
+                    # requeue with their original arrivals — the recovery
+                    # time lands in their tail latency.
+                    recovery = shard.replicas[replica_idx].recover()
+                    shard.pool[replica_idx].acquire(now, recovery)
+                    state.crashes += 1
+                    state.recoveries += 1
+                    state.recovery_seconds += recovery
+                    for tenant, arrived, key in zip(
+                        round_tenants, round_arrivals, round_keys
+                    ):
+                        stats[tenant].failovers += 1
+                        queue.push(tenant, (arrived, key))
+                        if OBS.enabled:
+                            OBS.counter(f"serve.failovers.{tenant}").inc()
+                    continue
                 shard.pool[replica_idx].acquire(now, duration)
                 completion = now + duration
                 # Hedge only when the shard has no backlog: a duplicate on
@@ -272,13 +300,23 @@ class RequestEngine:
                 if hedge and duration > deadline and not len(queue):
                     spare = shard.pool.first_free(now + deadline, exclude=replica_idx)
                     if spare is not None:
-                        dup = shard.replicas[spare].lookup_many(round_keys)
-                        shard.pool[spare].acquire(now + deadline, dup)
-                        state.hedges_issued += 1
-                        hedged = now + deadline + dup
-                        if hedged < completion:
-                            completion = hedged
-                            state.hedges_won += 1
+                        try:
+                            dup = shard.replicas[spare].lookup_many(round_keys)
+                        except DeviceCrashed:
+                            # The hedge dies, the primary's result stands;
+                            # the spare sits out its own recovery.
+                            recovery = shard.replicas[spare].recover()
+                            shard.pool[spare].acquire(now + deadline, recovery)
+                            state.crashes += 1
+                            state.recoveries += 1
+                            state.recovery_seconds += recovery
+                        else:
+                            shard.pool[spare].acquire(now + deadline, dup)
+                            state.hedges_issued += 1
+                            hedged = now + deadline + dup
+                            if hedged < completion:
+                                completion = hedged
+                                state.hedges_won += 1
                 state.rounds += 1
                 for tenant, arrived in zip(round_tenants, round_arrivals):
                     latency = completion - arrived
@@ -326,6 +364,9 @@ class RequestEngine:
             hedges_won=state.hedges_won,
             max_queue_depth=state.max_queue_depth,
             io_seconds=io_total,
+            crashes=state.crashes,
+            recoveries=state.recoveries,
+            recovery_seconds=state.recovery_seconds,
         )
 
 
@@ -337,3 +378,6 @@ class _RunState:
     hedges_issued: int = 0
     hedges_won: int = 0
     max_queue_depth: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    recovery_seconds: float = 0.0

@@ -25,7 +25,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.faults import FaultPlan, FaultyDevice, ResiliencePolicy
+from repro.faults import CrashPlan, FaultPlan, FaultyDevice, ResiliencePolicy
 from repro.serve.tenants import derive_seed
 from repro.storage.engine import ResourcePool
 from repro.storage.stack import StorageStack
@@ -55,6 +55,14 @@ class ShardConfig:
     warm_queries:
         Per-replica warm-up lookups after loading (seeded per replica),
         so measured traffic starts from a realistically warm cache.
+    durable:
+        Build each replica behind a
+        :class:`~repro.recovery.durable.DurableTree` (WAL + checkpoints),
+        so it can crash and recover mid-run.  Required when
+        :func:`build_shards` arms a crash plan.
+    group_commit, checkpoint_every, wal_bytes:
+        The durable replicas' WAL knobs (ignored when ``durable`` is
+        off); see :class:`~repro.recovery.durable.DurableConfig`.
     """
 
     tree: str = "btree"
@@ -63,6 +71,10 @@ class ShardConfig:
     replicas: int = 2
     batch: int = 8
     warm_queries: int = 64
+    durable: bool = False
+    group_commit: int = 8
+    checkpoint_every: int = 0
+    wal_bytes: int = 4 << 20
 
     def __post_init__(self) -> None:
         if self.tree not in SERVE_TREES:
@@ -79,6 +91,16 @@ class ShardConfig:
             raise ConfigurationError(
                 f"warm_queries must be >= 0, got {self.warm_queries}"
             )
+        if self.group_commit < 1:
+            raise ConfigurationError(
+                f"group_commit must be >= 1, got {self.group_commit}"
+            )
+        if self.checkpoint_every < 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.wal_bytes <= 0:
+            raise ConfigurationError(f"wal_bytes must be positive, got {self.wal_bytes}")
 
     def describe(self) -> dict[str, Any]:
         """Stable JSON-able identity."""
@@ -89,30 +111,56 @@ class ShardConfig:
             "replicas": self.replicas,
             "batch": self.batch,
             "warm_queries": self.warm_queries,
+            "durable": self.durable,
+            "group_commit": self.group_commit,
+            "checkpoint_every": self.checkpoint_every,
+            "wal_bytes": self.wal_bytes,
         }
 
 
 class Replica:
-    """One copy of a shard's data on its own device and cache."""
+    """One copy of a shard's data on its own device and cache.
 
-    def __init__(self, tree_kind: str, tree: Any, io_source: Any) -> None:
+    A *durable* replica routes through a
+    :class:`~repro.recovery.durable.DurableTree` instead of a bare tree:
+    its device may carry an armed crash plan, a round that hits the crash
+    raises :class:`~repro.errors.DeviceCrashed`, and :meth:`recover`
+    replays the WAL over the latest checkpoint so the replica can rejoin
+    the shard's pool.
+    """
+
+    def __init__(
+        self, tree_kind: str, tree: Any, io_source: Any, *, durable: Any = None
+    ) -> None:
         self.tree_kind = tree_kind
         self.tree = tree
         self._io_source = io_source  # StorageStack or BlockDevice (LSM)
+        self.durable = durable  # DurableTree | None
         self.rounds = 0
         self.lookups = 0
+        self.recoveries = 0
+        self.recovery_seconds = 0.0
 
     @property
     def io_seconds(self) -> float:
         """Simulated device seconds this replica has charged so far."""
+        if self.durable is not None:
+            return self.durable.io_seconds
         if isinstance(self._io_source, StorageStack):
             return self._io_source.io_seconds
         return self._io_source.stats.busy_seconds
 
     def lookup_many(self, keys: list[int]) -> float:
-        """Serve one round of point lookups; returns its device seconds."""
+        """Serve one round of point lookups; returns its device seconds.
+
+        On a durable replica whose crash plan fires mid-round the
+        :class:`~repro.errors.DeviceCrashed` propagates — the engine is
+        the failover layer, not this method.
+        """
         start = self.io_seconds
-        if self.tree_kind == "btree":
+        if self.durable is not None:
+            self.durable.get_many(keys)
+        elif self.tree_kind == "btree":
             self.tree.get_many(keys)
         else:
             for key in keys:
@@ -120,6 +168,24 @@ class Replica:
         self.rounds += 1
         self.lookups += len(keys)
         return self.io_seconds - start
+
+    def recover(self) -> float:
+        """Recover a crashed durable replica; returns the recovery seconds.
+
+        WAL replay over the latest checkpoint rebuilds the tree from
+        scratch (:meth:`~repro.recovery.durable.DurableTree.recover`);
+        the returned simulated seconds are what the replica's pool slot
+        must stay occupied for before it rejoins service.
+        """
+        if self.durable is None:
+            raise ConfigurationError(
+                "replica is not durable; build shards with ShardConfig(durable=True)"
+            )
+        report = self.durable.recover()
+        self.tree = self.durable.tree
+        self.recoveries += 1
+        self.recovery_seconds += report.recovery_seconds
+        return report.recovery_seconds
 
 
 class Shard:
@@ -141,6 +207,7 @@ def build_shards(
     seed: int,
     plan: FaultPlan | None = None,
     device_policy: ResiliencePolicy | None = None,
+    crash: CrashPlan | None = None,
 ) -> list[Shard]:
     """Construct ``n_shards`` shards, each with ``config.replicas`` replicas.
 
@@ -149,10 +216,20 @@ def build_shards(
     derived from ``seed`` and the shard/replica indices), so replicas see
     independent mechanical noise and independent fault draws — which is
     why hedging across them can win.
+
+    ``crash`` arms a per-shard crash plan (seed derived from the plan's
+    seed and the shard index) on **replica 0** of every shard, counting
+    IO ordinals from the start of measured traffic (load and warm-up are
+    crash-free).  Requires ``config.durable`` — a crashed replica must
+    have a WAL to come back.
     """
     if len(partitions) != n_shards:
         raise ConfigurationError(
             f"expected {n_shards} partitions, got {len(partitions)}"
+        )
+    if crash is not None and not config.durable:
+        raise ConfigurationError(
+            "crash plans need durable replicas; set ShardConfig(durable=True)"
         )
     shards: list[Shard] = []
     for s in range(n_shards):
@@ -166,6 +243,16 @@ def build_shards(
             )
             for r in range(config.replicas)
         ]
+        if crash is not None:
+            armed_crash = CrashPlan(
+                seed=derive_seed(crash.seed, "crash", s),
+                at_io=crash.at_io,
+                at_seconds=crash.at_seconds,
+                torn=crash.torn,
+            )
+            device = replicas[0].durable.device
+            assert isinstance(device, FaultyDevice)
+            device.arm_crash(armed_crash)  # ordinals count from here
         shards.append(Shard(s, replicas))
     return shards
 
@@ -195,6 +282,36 @@ def _build_replica(
         device = FaultyDevice(device, FaultPlan(seed=armed.seed), policy=device_policy)
     else:
         armed = None
+
+    if config.durable:
+        from repro.recovery.durable import DurableConfig, DurableTree
+
+        if not isinstance(device, FaultyDevice):
+            # Crash arming needs the faulty wrapper even with no fault plan;
+            # an empty plan is transparent, so fault-free runs stay exact.
+            device = FaultyDevice(device, FaultPlan(), policy=device_policy)
+        durable = DurableTree(
+            device,
+            DurableConfig(
+                tree=config.tree,
+                node_bytes=config.node_bytes,
+                cache_bytes=config.cache_bytes,
+                wal_bytes=config.wal_bytes,
+                group_commit=config.group_commit,
+                checkpoint_every=config.checkpoint_every,
+            ),
+        )
+        durable.load(list(pairs))
+        if durable.stack is not None:
+            durable.stack.drop_cache()
+        replica = Replica(config.tree, durable.tree, device, durable=durable)
+        _warm(replica, pairs, device_seed, config.warm_queries)
+        device.reset()
+        if durable.stack is not None:
+            durable.stack.cache.stats.reset()
+        if armed is not None:
+            device.plan = armed  # faults start with measured traffic
+        return replica
 
     if config.tree == "lsm":
         from repro.trees.lsm import LSMConfig, LSMTree

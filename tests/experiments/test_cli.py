@@ -11,7 +11,7 @@ class TestCLI:
             "fig1", "table2", "table3", "fig2", "fig3",
             "lemma13", "writeamp", "theorem9", "optima", "lsm",
             "epsilon", "aging", "asymmetry", "ycsb", "modelerr",
-            "autotune", "tailres", "serve", "cob",
+            "autotune", "tailres", "serve", "cob", "durability",
         }
 
     def test_list_prints_names_and_exits_zero(self, capsys):

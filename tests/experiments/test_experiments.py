@@ -277,6 +277,54 @@ class TestPDAMWriteMix:
             exp_pdam_validation.run(write_fraction=1.5)
 
 
+class TestDurability:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import exp_durability
+
+        return exp_durability.run(quick=True, jobs=1, cache=None)
+
+    def test_every_point_recovers_correctly(self, result):
+        # The sweep doubles as a crash-consistency gate: each point
+        # crashes mid-stream and must match the acked-prefix model.
+        assert all(r["recovered_ok"] for r in result.rows)
+
+    def test_affine_wants_a_larger_commit_batch(self, result):
+        # Corollary 6/7 applied to the write path: the affine setup cost
+        # amortizes over the group, the DAM's does not.
+        ckpt = result.checkpoints[0]
+        dam = result.argmin_batch("dam", checkpoint_every=ckpt)
+        affine = result.argmin_batch("affine", checkpoint_every=ckpt)
+        pdam = result.argmin_batch("pdam", checkpoint_every=ckpt)
+        assert affine > dam
+        assert pdam == dam  # one commit blob fits one parallel step
+
+    def test_exposure_grows_with_the_batch(self, result):
+        for device in result.devices:
+            rows = sorted(
+                (r for r in result.rows if r["device"] == device),
+                key=lambda r: r["group_commit"],
+            )
+            exposures = [r["exposure"] for r in rows]
+            assert exposures == sorted(exposures)
+            assert exposures[0] < exposures[-1]
+
+    def test_unknown_device_rejected(self, result):
+        from repro.errors import ConfigurationError
+        from repro.experiments import exp_durability
+
+        with pytest.raises(ConfigurationError):
+            exp_durability.make_durability_device("tape", node_bytes=4096)
+        with pytest.raises(ConfigurationError):
+            result.argmin_batch("tape")
+
+    def test_render(self, result):
+        out = result.render()
+        assert "E21" in out
+        assert "k*=" in out
+        assert "Corollary 6/7" in out
+
+
 class TestCOBCompare:
     @pytest.fixture(scope="class")
     def result(self):

@@ -109,6 +109,26 @@ class TestSerialization:
         with pytest.raises(ConfigurationError):
             FaultPlan.from_json('{"seed": 1, "surprise": true}')
 
+    def test_unknown_fields_named_in_the_error(self):
+        with pytest.raises(ConfigurationError, match="surprise"):
+            FaultPlan.from_json('{"seed": 1, "surprise": true}')
+
+    def test_degraded_phase_unknown_fields_named(self):
+        text = (
+            '{"degraded": [{"start_seconds": 0, "end_seconds": 1,'
+            ' "slowdown": 2, "oops": 1}]}'
+        )
+        with pytest.raises(ConfigurationError, match=r"degraded\[0\].*oops"):
+            FaultPlan.from_json(text)
+
+    def test_degraded_phase_must_be_an_object(self):
+        text = (
+            '{"degraded": [{"start_seconds": 0, "end_seconds": 1,'
+            ' "slowdown": 2}, 5]}'
+        )
+        with pytest.raises(ConfigurationError, match=r"degraded\[1\]"):
+            FaultPlan.from_json(text)
+
     def test_invalid_json_rejected(self):
         with pytest.raises(ConfigurationError):
             FaultPlan.from_json("{not json")

@@ -1,0 +1,68 @@
+"""The bench_durability gate table: no config can silently skip a gate.
+
+Gates are declared per config name and every outcome — enforced or
+advisory — is returned for the BENCH record.  These tests pin that
+contract (and each gate's failure mode) without running a sweep.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_BENCH = Path(__file__).resolve().parents[2] / "benchmarks" / "bench_durability.py"
+_spec = importlib.util.spec_from_file_location("bench_durability", _BENCH)
+bench_durability = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_durability)
+
+
+def _metrics(*, dam=4, affine=16, pdam=4, wal_frac=0.1, recovered=True, det=True):
+    return {
+        "deterministic_across_jobs": det,
+        "all_recovered_ok": recovered,
+        "argmin_batch": {"dam": dam, "affine": affine, "pdam": pdam},
+        "dam_wal_frac_at_k8": wal_frac,
+    }
+
+
+class TestGateTable:
+    def test_every_config_declares_its_gates(self):
+        assert set(bench_durability.GATES) == {"full", "smoke"}
+        for name, gates in bench_durability.GATES.items():
+            assert "separation_strict" in gates, name
+            assert "wal_frac_strict" in gates, name
+
+    def test_unknown_config_cannot_skip_silently(self):
+        with pytest.raises(KeyError):
+            bench_durability._check(_metrics(), config_name="nightly")
+
+
+class TestCheck:
+    def test_healthy_metrics_pass_and_report(self):
+        outcomes = bench_durability._check(_metrics(), config_name="full")
+        assert outcomes["separation_ok"] is True
+        assert outcomes["pdam_agrees_with_dam"] is True
+        assert outcomes["wal_frac_ok"] is True
+        assert outcomes["wal_frac_bound"] == bench_durability.WAL_FRAC_BOUND
+
+    def test_recovery_gate_applies_to_every_config(self):
+        for name in bench_durability.GATES:
+            with pytest.raises(AssertionError, match="recovery"):
+                bench_durability._check(
+                    _metrics(recovered=False), config_name=name
+                )
+
+    def test_determinism_gate_applies_to_every_config(self):
+        for name in bench_durability.GATES:
+            with pytest.raises(AssertionError, match="job"):
+                bench_durability._check(_metrics(det=False), config_name=name)
+
+    def test_collapsed_optima_fail_the_separation_gate(self):
+        with pytest.raises(AssertionError, match="affine"):
+            bench_durability._check(_metrics(affine=4), config_name="full")
+        with pytest.raises(AssertionError, match="PDAM"):
+            bench_durability._check(_metrics(pdam=16), config_name="full")
+
+    def test_wal_overhead_bound_enforced(self):
+        with pytest.raises(AssertionError, match="WAL share"):
+            bench_durability._check(_metrics(wal_frac=0.9), config_name="full")

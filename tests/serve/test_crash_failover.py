@@ -1,0 +1,122 @@
+"""Replica crash and failover inside the serving loop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import build_load
+from repro.faults import CrashPlan
+from repro.serve import RequestEngine, ShardConfig, ShardMap, TenantSpec, build_shards
+
+UNIVERSE = 1 << 18
+
+TENANTS = (
+    TenantSpec("alpha", rate=300.0, weight=2.0),
+    TenantSpec("beta", rate=200.0, weight=1.0),
+)
+
+
+def make_cluster(*, crash=None, durable=True, n_shards=2, replicas=2, seed=42):
+    pairs, _ = build_load(900, UNIVERSE, seed=seed)
+    keys = np.asarray(sorted(k for k, _ in pairs), dtype=np.int64)
+    smap = ShardMap(n_shards, UNIVERSE, policy="hash")
+    pair_map = dict(pairs)
+    partitions = [
+        [(int(k), pair_map[int(k)]) for k in part] for part in smap.partition(keys)
+    ]
+    cfg = ShardConfig(
+        tree="btree",
+        replicas=replicas,
+        batch=8,
+        cache_bytes=32 << 10,
+        warm_queries=16,
+        durable=durable,
+        group_commit=4,
+    )
+    shards = build_shards(n_shards, partitions, cfg, seed=seed, crash=crash)
+    return shards, smap, keys
+
+
+def run_once(*, crash=None, duration=0.5, seed=42, **kw):
+    shards, smap, keys = make_cluster(crash=crash, seed=seed, **kw)
+    engine = RequestEngine(shards, smap, TENANTS, keys, batch=8)
+    return engine.run(duration, seed=seed)
+
+
+class TestWiring:
+    def test_crash_plan_requires_durable_replicas(self):
+        with pytest.raises(ConfigurationError, match="durable"):
+            make_cluster(crash=CrashPlan(seed=1, at_io=5), durable=False)
+
+    def test_recover_rejected_on_non_durable_replica(self):
+        shards, _, _ = make_cluster(durable=False)
+        with pytest.raises(ConfigurationError):
+            shards[0].replicas[0].recover()
+
+    def test_durable_config_surfaces_in_describe(self):
+        cfg = ShardConfig(durable=True, group_commit=4, checkpoint_every=9)
+        d = cfg.describe()
+        assert d["durable"] is True
+        assert d["group_commit"] == 4
+        assert d["checkpoint_every"] == 9
+
+
+class TestFailover:
+    def test_each_shard_crashes_once_and_recovers(self):
+        result = run_once(crash=CrashPlan(seed=7, at_io=6))
+        assert result.crashes == 2
+        assert result.recoveries == 2
+        assert result.recovery_seconds > 0.0
+        assert sum(s.failovers for s in result.tenants.values()) > 0
+        d = result.describe()
+        assert d["crashes"] == 2
+        assert d["recovery_seconds"] == pytest.approx(result.recovery_seconds)
+        assert all("failovers" in t for t in d["tenants"].values())
+
+    def test_no_crash_plan_means_no_failovers(self):
+        result = run_once()
+        assert result.crashes == result.recoveries == 0
+        assert result.recovery_seconds == 0.0
+        assert all(s.failovers == 0 for s in result.tenants.values())
+
+    def test_crashed_requests_are_requeued_not_dropped(self):
+        calm = run_once()
+        crashed = run_once(crash=CrashPlan(seed=7, at_io=6))
+        # Failover requeues the round: same admitted traffic, same total
+        # completions — the crash costs latency, never requests.
+        assert crashed.served == calm.served
+        assert crashed.dropped == calm.dropped
+
+    def test_failover_lands_in_tail_latency(self):
+        # A requeued request keeps its original arrival time; with a
+        # single replica it cannot be served elsewhere, so it waits out
+        # the whole recovery: worst-case latency is bounded below by the
+        # slowest replica recovery.
+        shards, smap, keys = make_cluster(
+            crash=CrashPlan(seed=7, at_io=6), replicas=1
+        )
+        engine = RequestEngine(shards, smap, TENANTS, keys, batch=8)
+        result = engine.run(0.5, seed=42)
+        slowest_recovery = max(
+            r.recovery_seconds for s in shards for r in s.replicas
+        )
+        assert slowest_recovery > 0.0
+        worst = max(
+            float(np.max(result.latency_array(name))) for name in result.tenants
+        )
+        assert worst >= slowest_recovery
+
+    def test_bit_identical_across_runs(self):
+        a = run_once(crash=CrashPlan(seed=7, at_io=6))
+        b = run_once(crash=CrashPlan(seed=7, at_io=6))
+        assert a.describe() == b.describe()
+        for name in a.tenants:
+            assert np.array_equal(a.latency_array(name), b.latency_array(name))
+
+    def test_replica_counters_record_the_recovery(self):
+        shards, smap, keys = make_cluster(crash=CrashPlan(seed=7, at_io=6))
+        engine = RequestEngine(shards, smap, TENANTS, keys, batch=8)
+        engine.run(0.5, seed=42)
+        for shard in shards:
+            assert shard.replicas[0].recoveries == 1
+            assert shard.replicas[0].recovery_seconds > 0.0

@@ -150,6 +150,62 @@ def test_faulty_perturbed_falls_back_to_full_pipeline():
     assert _state(dev) == _state(ref)
 
 
+class TestCrashInBatch:
+    """An armed crash plan inside ``write_batch`` == the serial loop.
+
+    Arming a crash disables the transparent batch fast path; the per-IO
+    fallback must then consume the fault and torn-write RNG streams in
+    exactly the order a serial loop does, die at the same ordinal with
+    the same torn prefix, and leave clock/stats/inner state bit-equal.
+    """
+
+    def _armed(self, at_io, *, perturbed=True):
+        from repro.faults.crash import CrashPlan
+
+        plan = (
+            FaultPlan(seed=11, spike_prob=0.5, spike_seconds=0.01)
+            if perturbed
+            else FaultPlan(seed=11)
+        )
+        dev = FaultyDevice(hdd(seed=7), plan)
+        dev.arm_crash(CrashPlan(seed=5, at_io=at_io, torn=True))
+        return dev
+
+    @pytest.mark.parametrize("at_io", [0, 2, len(OFFSETS) - 1])
+    @pytest.mark.parametrize("perturbed", [False, True])
+    def test_batch_crash_identical_to_serial_loop(self, at_io, perturbed):
+        from repro.errors import DeviceCrashed
+
+        ref, dev = (
+            self._armed(at_io, perturbed=perturbed),
+            self._armed(at_io, perturbed=perturbed),
+        )
+        with pytest.raises(DeviceCrashed):
+            for off in OFFSETS:
+                ref.write(off, NBYTES)
+        with pytest.raises(DeviceCrashed):
+            dev.write_batch(OFFSETS, NBYTES)
+        assert dev.crash_state == ref.crash_state  # ordinal + torn prefix
+        assert dev.io_ordinal == ref.io_ordinal
+        assert _state(dev) == _state(ref)
+        # And the fault RNG sits at the same position afterwards.
+        assert float(dev._rng.random()) == float(ref._rng.random())
+
+    def test_batch_after_recover_matches_serial(self):
+        from repro.errors import DeviceCrashed
+
+        ref, dev = self._armed(3), self._armed(3)
+        with pytest.raises(DeviceCrashed):
+            for off in OFFSETS:
+                ref.write(off, NBYTES)
+        with pytest.raises(DeviceCrashed):
+            dev.write_batch(OFFSETS, NBYTES)
+        assert dev.recover() == ref.recover()
+        expected = [ref.write(off, NBYTES) for off in OFFSETS]
+        assert dev.write_batch(OFFSETS, NBYTES) == expected
+        assert _state(dev) == _state(ref)
+
+
 class TestResourcePoolArrays:
     def _loop_reference(self, jobs):
         """Occupancy computed with per-slot Python objects (the old layout)."""
