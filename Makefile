@@ -8,9 +8,12 @@ install:
 test:
 	pytest tests/
 
-# The CI lint gate: static determinism & invariant checks (docs/lint.md).
+# The CI lint gate: per-file rules plus the whole-program flow pass,
+# then the flow pass alone against src/repro as the lint-flow CI job
+# runs it (docs/lint.md).
 lint:
 	PYTHONPATH=src python -m repro.lint src/
+	PYTHONPATH=src python -m repro.lint src/repro --select FLOW
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -21,10 +21,26 @@ ERR001    No blind ``except Exception`` that swallows silently — must
           re-raise, log, or record an obs counter.
 VAL001    Public constructors validate capacity/count/duration params
           (the PR-4 ``ValueError`` contracts).
+FLOW001   Simulation entry points do not reach wall-clock/global-RNG/
+          OS-entropy/unordered-iteration sinks *transitively* (whole-
+          program taint over the call graph; findings carry the chain).
+FLOW002   A component's private RNG stream (``self._rng = ...``) never
+          escapes it — not returned, passed out, or stored elsewhere.
+FLOW003   Batch APIs (``read_batch``, ``put_many``, ...) have a scalar
+          twin and touch no state the twin's closure never does.
+FLOW004   OBS001 across the call graph: entry points cannot reach a
+          recording call without an ``OBS.enabled`` guard on the path.
 ========  ==============================================================
 
-Findings are suppressible per line with ``# repro-lint: ignore[RULE]``;
-rule/paths exemptions live in :mod:`repro.lint.config`.  Run it as::
+The per-file rules run per module (and fork under ``--jobs``); the FLOW
+rules run once per invocation over a whole-program index
+(:mod:`repro.lint.flow`) — always in the parent process, so reports are
+byte-identical at any job count.
+
+Findings are suppressible per line with ``# repro-lint: ignore[RULE]``
+(on the reported line or the first line of the enclosing multi-line
+statement; flow rules accept it at either chain endpoint); rule/path
+exemptions live in :mod:`repro.lint.config`.  Run it as::
 
     python -m repro.lint src/ [--select A,B] [--ignore C] [--jobs N] [--format json]
 
@@ -34,6 +50,8 @@ docs/lint.md.
 
 from repro.lint.config import DEFAULT_EXEMPTIONS, LintConfig
 from repro.lint.engine import (
+    JSON_SCHEMA_V1,
+    JSON_SCHEMA_V2,
     JSON_SCHEMA_VERSION,
     Finding,
     LintReport,
@@ -47,6 +65,8 @@ from repro.lint.rules import RULE_REGISTRY, Rule, all_rules, register_rule
 __all__ = [
     "DEFAULT_EXEMPTIONS",
     "Finding",
+    "JSON_SCHEMA_V1",
+    "JSON_SCHEMA_V2",
     "JSON_SCHEMA_VERSION",
     "LintConfig",
     "LintReport",

@@ -8,10 +8,73 @@ it through the per-module import map built by the engine's fact scan.
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterator
 
 #: Attribute set on every visited node pointing at its parent (engine walk).
 PARENT_ATTR = "_repro_lint_parent"
+
+#: Marker meaning "suppress every rule on this line".
+SUPPRESS_ALL = "*"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>ignore|skip-file)(?:\[(?P<codes>[^\]]*)\])?"
+)
+
+
+def scan_suppressions(source: str) -> tuple[dict[int, set[str]], bool]:
+    """``(line -> suppressed codes, skip_file)`` from suppression comments.
+
+    Shared by the per-file engine and the project indexer so both layers
+    agree on exactly which lines a ``# repro-lint: ignore[RULE]`` covers.
+    """
+    suppressions: dict[int, set[str]] = {}
+    skip_file = False
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(line)
+        if not m:
+            continue
+        if m.group("kind") == "skip-file":
+            skip_file = True
+            continue
+        codes = m.group("codes")
+        tags = (
+            {c.strip() for c in codes.split(",") if c.strip()}
+            if codes
+            else {SUPPRESS_ALL}
+        )
+        suppressions.setdefault(lineno, set()).update(tags)
+    return suppressions, skip_file
+
+
+def suppression_lines(node: ast.AST) -> set[int]:
+    """Lines where a suppression comment covers findings on ``node``.
+
+    The reported line itself, plus the **first physical line of the
+    enclosing statement** — so a multi-line call can be suppressed at
+    the line a reader naturally annotates (``x = compute(  # ignore[..]``)
+    even when the flagged sub-expression sits lines below.
+    Requires parent links (set during the engine/indexer walk).
+    """
+    lines = {getattr(node, "lineno", 1)}
+    if isinstance(node, ast.stmt):
+        return lines
+    for anc, _ in ancestors(node):
+        if isinstance(anc, ast.stmt):
+            lines.add(anc.lineno)
+            break
+    return lines
+
+
+def is_suppressed(
+    suppressions: dict[int, set[str]], node: ast.AST, code: str
+) -> bool:
+    """Whether ``code`` is suppressed at ``node`` (either endpoint line)."""
+    for line in suppression_lines(node):
+        tags = suppressions.get(line, ())
+        if SUPPRESS_ALL in tags or code in tags:
+            return True
+    return False
 
 
 def raw_dotted(node: ast.AST) -> str | None:

@@ -2,8 +2,11 @@
 
 Exit codes: 0 clean, 1 unsuppressed findings (or unparsable files),
 2 usage errors.  Text output is one ``path:line:col: CODE message`` per
-finding; ``--format json`` emits the ``repro.lint/v1`` payload
-documented in docs/lint.md.
+finding (flow findings add an indented ``chain:`` line); ``--format
+json`` emits the ``repro.lint/v2`` payload when the whole-program flow
+pass ran, ``repro.lint/v1`` for rule-only runs — both documented in
+docs/lint.md.  ``--select``/``--ignore`` accept family prefixes:
+``--select FLOW`` runs every FLOW rule.
 """
 
 from __future__ import annotations
@@ -19,7 +22,26 @@ from repro.lint.rules import all_rules
 
 
 def _codes(raw: str | None) -> frozenset[str]:
-    return frozenset(c.strip() for c in raw.split(",") if c.strip()) if raw else frozenset()
+    """Parse a code list, expanding family prefixes (``FLOW``, ``DET``).
+
+    A token that matches no registered code exactly but is a prefix of
+    at least one (``--select FLOW``) selects the whole family; unknown
+    tokens are kept verbatim so ``main`` can report them.
+    """
+    if not raw:
+        return frozenset()
+    known = set(all_rules())
+    out: set[str] = set()
+    for token in (c.strip() for c in raw.split(",")):
+        if not token:
+            continue
+        if token not in known:
+            family = {code for code in known if code.startswith(token)}
+            if family:
+                out |= family
+                continue
+        out.add(token)
+    return frozenset(out)
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -43,6 +43,47 @@ KERNEL_DECORATORS: tuple[str, ...] = (
 #: Names an obs registry travels under (receiver of recording calls).
 OBS_REGISTRY_NAMES: tuple[str, ...] = ("OBS",)
 
+#: Path fragments whose public classes/functions are *simulation entry
+#: points* for the whole-program flow pass (FLOW001/FLOW004): the code
+#: whose results the determinism contracts cover.  Kernel-decorated
+#: functions are entry points everywhere, regardless of this list.
+FLOW_ENTRY_FRAGMENTS: tuple[str, ...] = (
+    "repro/storage/",
+    "repro/trees/",
+    "repro/serve/",
+    "repro/faults/",
+    "repro/recovery/",
+    "repro/workloads/",
+    "repro/tuning/",
+)
+
+#: FLOW003: batch-API method -> the scalar twin it must mirror.  The
+#: "batching is semantically invisible" contract (docs/architecture.md)
+#: as a checkable shape: the pair must coexist on the class, and the
+#: batch body must not touch state the scalar closure never does.
+#: Twin names follow the repo's actual API conventions: devices
+#: read/write, trees insert/get, the cache layer fetches with get and
+#: writes back with write_back.
+FLOW_BATCH_PAIRS: Mapping[str, str] = {
+    "read_batch": "read",
+    "write_batch": "write",
+    "read_many": "get",
+    "write_many": "write_back",
+    "get_many": "get",
+    "put_many": "insert",
+    "put_bulk": "insert",
+}
+
+#: Resolved constructor names that mint a private RNG stream (FLOW002's
+#: subjects: attributes assigned from one of these must never escape
+#: their component).
+FLOW_RNG_CONSTRUCTORS: tuple[str, ...] = (
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.RandomState",
+    "random.Random",
+)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -60,12 +101,22 @@ class LintConfig:
     kernel_decorators: tuple[str, ...] = KERNEL_DECORATORS
     #: Registry names whose recording calls OBS001 guards.
     obs_registry_names: tuple[str, ...] = OBS_REGISTRY_NAMES
-    #: DET002: also treat ``.keys()`` iteration as unordered.  Off by
-    #: default — dicts preserve insertion order since Python 3.7, so the
-    #: common case is deterministic; enable for audit sweeps.
-    det002_flag_dict_keys: bool = False
+    #: DET002 strict mode: also treat ``.keys()`` into order-sensitive
+    #: sinks as unordered.  On by default (repo policy since PR 10):
+    #: dicts preserve insertion order, but ``list(d.keys())`` feeding a
+    #: result is exactly where a later switch to a set/unordered source
+    #: hides — iterate the dict directly or pin with ``sorted()``.
+    det002_flag_dict_keys: bool = True
     #: Include suppressed findings in the report (still non-failing).
     show_suppressed: bool = False
+    #: Path fragments marking simulation entry points for FLOW001/004.
+    flow_entry_fragments: tuple[str, ...] = FLOW_ENTRY_FRAGMENTS
+    #: FLOW003 batch-method -> scalar-twin pairs.
+    flow_batch_pairs: Mapping[str, str] = field(
+        default_factory=lambda: dict(FLOW_BATCH_PAIRS)
+    )
+    #: FLOW002: resolved constructors that mint private RNG streams.
+    flow_rng_constructors: tuple[str, ...] = FLOW_RNG_CONSTRUCTORS
 
     def rule_enabled(self, code: str) -> bool:
         """Whether ``code`` survives ``--select`` / ``--ignore``."""

@@ -15,89 +15,57 @@ pre-computed facts.
 
 A file that cannot be parsed yields a single ``LINT000`` finding — a
 broken file must fail the gate, not silently skip it.
+
+On top of the per-file pass, :func:`lint_paths` runs the whole-program
+**flow pass** (:mod:`repro.lint.flow`) whenever any project-scoped rule
+is enabled: the project is indexed once *in the parent process* (never
+in the fork pool), flow findings are computed there, and both passes'
+findings are merged per file in a deterministic order — so reports stay
+byte-identical at any ``--jobs``.
 """
 
 from __future__ import annotations
 
 import ast
 import multiprocessing
-import re
-from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable, Sequence
+from typing import Iterable, Sequence
 
-from repro.lint.astutil import PARENT_ATTR, raw_dotted
+from repro.lint.astutil import (
+    PARENT_ATTR,
+    SUPPRESS_ALL,
+    is_suppressed,
+    raw_dotted,
+    scan_suppressions,
+)
 from repro.lint.config import LintConfig
+from repro.lint.report import (
+    JSON_SCHEMA_V1,
+    JSON_SCHEMA_V2,
+    JSON_SCHEMA_VERSION,
+    Finding,
+    LintReport,
+)
 from repro.lint.rules import RULE_REGISTRY, Rule, hook_table
-
-#: Schema tag stamped into JSON output (bump on breaking format change).
-JSON_SCHEMA_VERSION = "repro.lint/v1"
 
 #: Pseudo-rule code for files the engine cannot parse.
 PARSE_ERROR_CODE = "LINT000"
 
-#: Marker meaning "suppress every rule on this line".
-_ALL = "*"
+_ALL = SUPPRESS_ALL
 
-_SUPPRESS_RE = re.compile(
-    r"#\s*repro-lint:\s*(?P<kind>ignore|skip-file)(?:\[(?P<codes>[^\]]*)\])?"
-)
-
-
-@dataclass(frozen=True)
-class Finding:
-    """One rule violation at one source location."""
-
-    code: str
-    path: str
-    line: int
-    col: int
-    message: str
-    suppressed: bool = False
-
-    def render(self) -> str:
-        mark = "  (suppressed)" if self.suppressed else ""
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}{mark}"
-
-
-@dataclass
-class LintReport:
-    """Everything one lint run produced."""
-
-    findings: list[Finding] = field(default_factory=list)
-    n_files: int = 0
-
-    @property
-    def failures(self) -> list[Finding]:
-        """Findings that fail the gate (suppressed ones do not)."""
-        return [f for f in self.findings if not f.suppressed]
-
-    def counts(self) -> dict[str, int]:
-        """Unsuppressed finding count per rule code."""
-        out: dict[str, int] = {}
-        for f in self.failures:
-            out[f.code] = out.get(f.code, 0) + 1
-        return dict(sorted(out.items()))
-
-    def to_json(self) -> dict[str, Any]:
-        """The ``repro.lint/v1`` JSON payload (see docs/lint.md)."""
-        return {
-            "version": JSON_SCHEMA_VERSION,
-            "n_files": self.n_files,
-            "n_findings": len(self.failures),
-            "counts": self.counts(),
-            "findings": [
-                {
-                    "code": f.code,
-                    "path": f.path,
-                    "line": f.line,
-                    "col": f.col,
-                    "message": f.message,
-                    "suppressed": f.suppressed,
-                }
-                for f in self.findings
-            ],
-        }
+__all__ = [
+    "Finding",
+    "JSON_SCHEMA_V1",
+    "JSON_SCHEMA_V2",
+    "JSON_SCHEMA_VERSION",
+    "LintReport",
+    "ModuleContext",
+    "PARSE_ERROR_CODE",
+    "collect_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]
 
 
 class ModuleContext:
@@ -121,28 +89,10 @@ class ModuleContext:
         #: ids of function nodes decorated as sweep kernels.
         self.kernel_function_ids: set[int] = set()
         #: line -> rule codes suppressed there (``{"*"}`` = all).
-        self.suppressions: dict[int, set[str]] = {}
-        self.skip_file = False
-        self._scan_suppressions()
+        self.suppressions, self.skip_file = scan_suppressions(source)
         self._scan_facts()
 
     # -- fact scan ---------------------------------------------------------
-
-    def _scan_suppressions(self) -> None:
-        for lineno, line in enumerate(self.source.splitlines(), start=1):
-            m = _SUPPRESS_RE.search(line)
-            if not m:
-                continue
-            if m.group("kind") == "skip-file":
-                self.skip_file = True
-                continue
-            codes = m.group("codes")
-            tags = (
-                {c.strip() for c in codes.split(",") if c.strip()}
-                if codes
-                else {_ALL}
-            )
-            self.suppressions.setdefault(lineno, set()).update(tags)
 
     def _scan_facts(self) -> None:
         for node in self.tree.body:
@@ -213,13 +163,17 @@ class ModuleContext:
     # -- findings sink -----------------------------------------------------
 
     def report(self, code: str, node: ast.AST, message: str) -> None:
-        """Record one finding, honouring exemptions and suppressions."""
+        """Record one finding, honouring exemptions and suppressions.
+
+        A suppression comment counts when it sits on the reported line
+        *or* on the first physical line of the enclosing statement (so
+        multi-line statements can be annotated where they start).
+        """
         if self.config.is_exempt(code, self.path):
             return
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0) + 1
-        tags = self.suppressions.get(line, ())
-        suppressed = _ALL in tags or code in tags
+        suppressed = is_suppressed(self.suppressions, node, code)
         if suppressed and not self.config.show_suppressed:
             return
         self.findings.append(
@@ -246,17 +200,31 @@ class _Dispatcher:
 
 
 def _active_rules(config: LintConfig) -> list[Rule]:
+    """Enabled per-file rules (project-scoped flow rules run elsewhere)."""
     return [
         cls(config)
         for code, cls in RULE_REGISTRY.items()
-        if config.rule_enabled(code)
+        if cls.scope == "module" and config.rule_enabled(code)
+    ]
+
+
+def _active_flow_rules(config: LintConfig) -> list[Rule]:
+    """Enabled project-scoped rules (the whole-program flow pass)."""
+    return [
+        cls(config)
+        for code, cls in RULE_REGISTRY.items()
+        if cls.scope == "project" and config.rule_enabled(code)
     ]
 
 
 def lint_source(
     source: str, path: str = "<string>", config: LintConfig | None = None
 ) -> list[Finding]:
-    """Lint one source string; the unit every API below builds on."""
+    """Lint one source string; the unit every API below builds on.
+
+    Per-file rules only — the flow pass needs the whole project and runs
+    in :func:`lint_paths`.
+    """
     config = config or LintConfig()
     try:
         tree = ast.parse(source, filename=path)
@@ -266,6 +234,12 @@ def lint_source(
         return [
             Finding(PARSE_ERROR_CODE, path, line, col, f"file does not parse: {exc.msg if isinstance(exc, SyntaxError) else exc}")
         ]
+    # Parent-link the whole tree up front: rules report on sub-expressions
+    # the dispatcher has not descended into yet, and the multi-line
+    # suppression lookup needs their ancestor chain at that moment.
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            setattr(child, PARENT_ATTR, node)
     ctx = ModuleContext(path, source, tree, config)
     if ctx.skip_file:
         return []
@@ -310,13 +284,14 @@ def lint_paths(
 ) -> LintReport:
     """Lint every ``.py`` file under ``paths``; deterministic ordering.
 
-    ``jobs > 1`` fans files over a fork pool (like the sweep runner);
-    results are concatenated in sorted-file order either way, so the
-    report is byte-identical at any job count.
+    ``jobs > 1`` fans the per-file rule evaluation over a fork pool
+    (like the sweep runner).  The flow pass — project indexing plus the
+    FLOW rules — always runs once, in the parent; findings from both
+    passes are merged per file and sorted, so the report is
+    byte-identical at any job count.
     """
     config = config or LintConfig()
     files = collect_files(paths)
-    report = LintReport(n_files=len(files))
     payloads = [(str(p), config) for p in files]
     if jobs > 1 and len(payloads) > 1:
         ctx = multiprocessing.get_context("fork")
@@ -324,6 +299,28 @@ def lint_paths(
             per_file = pool.map(_lint_one, payloads)
     else:
         per_file = [_lint_one(p) for p in payloads]
+
+    by_path: dict[str, list[Finding]] = {str(p): [] for p in files}
     for findings in per_file:
-        report.findings.extend(findings)
+        for f in findings:
+            by_path.setdefault(f.path, []).append(f)
+
+    flow_rules = _active_flow_rules(config)
+    schema = JSON_SCHEMA_V1
+    if flow_rules:
+        schema = JSON_SCHEMA_V2
+        # Imported lazily: repro.lint.flow pulls in the rule registry,
+        # which is still initialising while this module is first loaded.
+        from repro.lint.flow import build_project
+
+        project = build_project(files, config)
+        for rule in flow_rules:
+            for f in rule.run(project):  # type: ignore[attr-defined]
+                by_path.setdefault(f.path, []).append(f)
+
+    report = LintReport(n_files=len(files), schema=schema)
+    for p in files:
+        report.findings.extend(
+            sorted(by_path[str(p)], key=lambda f: (f.line, f.col, f.code))
+        )
     return report

@@ -1,0 +1,62 @@
+"""repro.lint.flow — whole-program determinism flow analysis.
+
+The per-file rules (DET/OBS/PURE/ERR/VAL) are blind to anything that
+crosses a function boundary: a helper that calls ``time.time()`` three
+frames below a kernel sails through DET001.  This package closes that
+hole with three layers:
+
+1. :mod:`~repro.lint.flow.index` — parse every file once and build a
+   project-wide symbol table: modules, classes (with layouts and base
+   resolution), functions, alias-aware import maps, suppression lines.
+2. :mod:`~repro.lint.flow.callgraph` — a conservative call graph over
+   the index: module-qualified direct calls, ``self.method`` resolved
+   through the class MRO, constructor calls, ``super()`` dispatch.
+   Calls whose receiver cannot be resolved statically produce **no**
+   edge (under-approximation: no false chains, possible misses).
+3. :mod:`~repro.lint.flow.facts` + :mod:`~repro.lint.flow.engine` — a
+   fixed-point taint engine: per-function nondeterminism facts seeded
+   by the same detectors DET001/DET002 use, propagated caller-ward to
+   stability, with shortest source→sink chains recorded for the
+   diagnostics.
+
+The FLOW rules themselves (:mod:`~repro.lint.flow.rules`) are ordinary
+registry rules with ``scope = "project"``; :func:`repro.lint.lint_paths`
+runs them once per invocation, in the parent process, and merges their
+findings with the per-file pass.  See docs/lint.md for the rule catalog
+and how to read a chain.
+"""
+
+from repro.lint.flow.callgraph import CallGraph, CallSite, build_callgraph
+from repro.lint.flow.engine import FlowProject, build_project
+from repro.lint.flow.facts import (
+    KIND_ENTROPY,
+    KIND_ORDER,
+    KIND_RNG,
+    KIND_TIME,
+    Seed,
+)
+from repro.lint.flow.index import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+    build_index,
+)
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FlowProject",
+    "FunctionInfo",
+    "KIND_ENTROPY",
+    "KIND_ORDER",
+    "KIND_RNG",
+    "KIND_TIME",
+    "ModuleInfo",
+    "ProjectIndex",
+    "Seed",
+    "build_callgraph",
+    "build_index",
+    "build_project",
+]

@@ -1,0 +1,135 @@
+"""A conservative, project-wide call graph over the index.
+
+Resolution is deliberately an **under-approximation**: an edge exists
+only when the callee can be named statically, so every reported chain
+is a real syntactic path.  Resolved forms:
+
+* direct calls to module-level functions, through import aliases
+  (``from repro.x import f as g; g()``);
+* ``self.method(...)`` / ``cls.method(...)`` through the enclosing
+  class's project MRO (so a ``BlockDevice`` subclass's ``read_batch``
+  links to the override actually dispatched);
+* constructor calls — ``SimulatedHDD(...)`` edges to ``__init__``
+  resolved through the MRO;
+* explicit ``ClassName.method(...)`` and ``super().method(...)``.
+
+Calls through arbitrary receivers (``obj.method()`` where ``obj`` is a
+parameter or local) produce no edge — static typing is out of scope for
+a stdlib-``ast`` linter, and a missed edge only ever *under*-reports.
+
+Each call site records whether an ``OBS.enabled`` guard dominates it
+(FLOW004's propagation barrier), using the same dominance logic as the
+per-file OBS001 rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.lint.astutil import raw_dotted
+from repro.lint.config import LintConfig
+from repro.lint.flow.index import FunctionInfo, ProjectIndex
+from repro.lint.rules.obs import site_guarded
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge: ``caller`` invokes ``callee`` at a line."""
+
+    caller: str
+    callee: str
+    lineno: int
+    col: int
+    #: An ``if OBS.enabled:`` (or hoisted-flag / early-return) guard
+    #: dominates this site — blocks FLOW004 propagation, nothing else.
+    guarded: bool
+
+
+class CallGraph:
+    """Forward (``calls``) and reverse (``callers``) adjacency by qname."""
+
+    def __init__(self) -> None:
+        self.calls: dict[str, list[CallSite]] = {}
+        self.callers: dict[str, list[CallSite]] = {}
+
+    def add(self, site: CallSite) -> None:
+        self.calls.setdefault(site.caller, []).append(site)
+        self.callers.setdefault(site.callee, []).append(site)
+
+    def edges(self) -> list[CallSite]:
+        """Every edge, in deterministic (caller, line, col, callee) order."""
+        out = [s for sites in self.calls.values() for s in sites]
+        out.sort(key=lambda s: (s.caller, s.lineno, s.col, s.callee))
+        return out
+
+
+def resolve_call(
+    index: ProjectIndex, fn: FunctionInfo, call: ast.Call
+) -> str | None:
+    """Qname of the indexed function ``call`` dispatches to, else ``None``."""
+    func = call.func
+    # super().method(...) — dispatch into the first base that defines it.
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Call)
+        and isinstance(func.value.func, ast.Name)
+        and func.value.func.id == "super"
+        and fn.owner is not None
+    ):
+        for cls in index.mro(fn.owner)[1:]:
+            qname = cls.methods.get(func.attr)
+            if qname is not None:
+                return qname
+        return None
+
+    dotted = raw_dotted(func)
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    if parts[0] in ("self", "cls") and fn.owner is not None:
+        if len(parts) == 2:
+            target = index.resolve_method(fn.owner, parts[1])
+            return target.qname if target is not None else None
+        return None  # self.attr.method — receiver type unknown
+
+    resolved = index.resolve(fn.module, dotted)
+    if resolved is None:
+        return None
+    if resolved in index.functions:
+        return resolved
+    if resolved in index.classes:
+        ctor = index.resolve_method(resolved, "__init__")
+        return ctor.qname if ctor is not None else None
+    owner, _, method = resolved.rpartition(".")
+    if method and owner in index.classes:
+        target = index.resolve_method(owner, method)
+        return target.qname if target is not None else None
+    return None
+
+
+def build_callgraph(index: ProjectIndex, config: LintConfig) -> CallGraph:
+    """One walk per indexed function; edges in deterministic order."""
+    graph = CallGraph()
+    registry_names = config.obs_registry_names
+    for qname in sorted(index.functions):
+        fn = index.functions[qname]
+        mod = index.modules[fn.module]
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = resolve_call(index, fn, node)
+            if callee is None or callee == qname:
+                continue
+            graph.add(
+                CallSite(
+                    caller=qname,
+                    callee=callee,
+                    lineno=node.lineno,
+                    col=node.col_offset + 1,
+                    guarded=site_guarded(
+                        node, mod.enabled_aliases, registry_names
+                    ),
+                )
+            )
+    return graph

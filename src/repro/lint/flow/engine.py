@@ -1,0 +1,179 @@
+"""Fixed-point fact propagation over the call graph.
+
+Facts flow **caller-ward**: a function is tainted with a kind of
+nondeterminism iff its own body seeds it or it calls (resolvably) a
+tainted function.  Because the domain is a flat lattice per (function,
+kind) and edges only ever add facts, a breadth-first worklist from the
+seed set reaches the fixed point in one pass — and BFS order doubles as
+a shortest-chain witness: each fact records the callee and call site it
+arrived through, so reconstructing source→sink diagnostics is a pointer
+walk, no second search.
+
+Determinism: seeds enter the queue in sorted qname order, caller edges
+are visited in sorted (caller, line, col) order, and first-writer-wins —
+so chains, and therefore reports, are byte-identical run to run.
+
+FLOW004 uses the same engine with two twists: its seed set is the
+unguarded obs-recording sites, and guarded call sites do not propagate
+(an ``if OBS.enabled:`` around the call *is* the contract being
+checked).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.config import LintConfig
+from repro.lint.flow.callgraph import CallGraph, build_callgraph
+from repro.lint.flow.facts import Seed, obs_seeds, taint_seeds
+from repro.lint.flow.index import FunctionInfo, ProjectIndex, build_index
+from repro.lint.report import ChainFrame
+
+
+@dataclass(frozen=True)
+class Fact:
+    """Why one function carries one kind of taint."""
+
+    kind: str
+    depth: int  #: call hops between this function and the seed
+    seed: Seed  #: the sink this fact is rooted at
+    via: str | None  #: callee qname the taint arrived through (None at depth 0)
+    lineno: int | None  #: call-site line in *this* function (None at depth 0)
+
+
+#: facts[function qname][kind] -> Fact
+FactMap = dict[str, dict[str, "Fact"]]
+
+
+class FlowProject:
+    """Index + call graph + lazily computed fact maps for one lint run."""
+
+    def __init__(
+        self, index: ProjectIndex, graph: CallGraph, config: LintConfig
+    ) -> None:
+        self.index = index
+        self.graph = graph
+        self.config = config
+        self._taint: FactMap | None = None
+        self._taint_suppressed: FactMap | None = None
+        self._obs: FactMap | None = None
+        self._obs_suppressed: FactMap | None = None
+
+    # -- entry points ------------------------------------------------------
+
+    def entry_points(self) -> list[FunctionInfo]:
+        """Simulation entry points, sorted by qname.
+
+        Kernel-decorated functions everywhere, plus public functions and
+        public-class methods in modules matching the configured entry
+        path fragments.
+        """
+        out: list[FunctionInfo] = []
+        for qname in sorted(self.index.functions):
+            fn = self.index.functions[qname]
+            if self.index.modules[fn.module].skip_file:
+                continue
+            if fn.is_kernel:
+                out.append(fn)
+                continue
+            posix = fn.path.replace("\\", "/")
+            if not any(frag in posix for frag in self.config.flow_entry_fragments):
+                continue
+            if not fn.is_public:
+                continue
+            if fn.owner is not None:
+                cls = self.index.classes.get(fn.owner)
+                if cls is None or cls.name.startswith("_"):
+                    continue
+            out.append(fn)
+        return out
+
+    # -- fact maps ---------------------------------------------------------
+
+    def taint_facts(self, *, suppressed: bool = False) -> FactMap:
+        """FLOW001 facts (``suppressed=True``: sink-suppressed seeds only)."""
+        if suppressed:
+            if self._taint_suppressed is None:
+                self._taint_suppressed = self._propagate(
+                    taint_seeds, want_suppressed=True, block_guarded=False
+                )
+            return self._taint_suppressed
+        if self._taint is None:
+            self._taint = self._propagate(
+                taint_seeds, want_suppressed=False, block_guarded=False
+            )
+        return self._taint
+
+    def obs_facts(self, *, suppressed: bool = False) -> FactMap:
+        """FLOW004 facts: unguarded-obs reach, guard sites block edges."""
+        if suppressed:
+            if self._obs_suppressed is None:
+                self._obs_suppressed = self._propagate(
+                    obs_seeds, want_suppressed=True, block_guarded=True
+                )
+            return self._obs_suppressed
+        if self._obs is None:
+            self._obs = self._propagate(
+                obs_seeds, want_suppressed=False, block_guarded=True
+            )
+        return self._obs
+
+    def _propagate(self, seed_fn, *, want_suppressed: bool, block_guarded: bool) -> FactMap:
+        facts: FactMap = {}
+        queue: deque[tuple[str, str]] = deque()
+        for qname in sorted(self.index.functions):
+            fn = self.index.functions[qname]
+            per_kind: dict[str, Seed] = {}
+            for seed in seed_fn(fn, self.index, self.config):
+                if seed.sink_suppressed != want_suppressed:
+                    continue
+                per_kind.setdefault(seed.kind, seed)  # first = min (line, col)
+            for kind in sorted(per_kind):
+                facts.setdefault(qname, {})[kind] = Fact(
+                    kind=kind, depth=0, seed=per_kind[kind], via=None, lineno=None
+                )
+                queue.append((qname, kind))
+        while queue:
+            qname, kind = queue.popleft()
+            fact = facts[qname][kind]
+            sites = sorted(
+                self.graph.callers.get(qname, ()),
+                key=lambda s: (s.caller, s.lineno, s.col),
+            )
+            for site in sites:
+                if block_guarded and site.guarded:
+                    continue
+                caller_facts = facts.setdefault(site.caller, {})
+                if kind in caller_facts:
+                    continue
+                caller_facts[kind] = Fact(
+                    kind=kind,
+                    depth=fact.depth + 1,
+                    seed=fact.seed,
+                    via=qname,
+                    lineno=site.lineno,
+                )
+                queue.append((site.caller, kind))
+        return facts
+
+    # -- diagnostics -------------------------------------------------------
+
+    def chain(self, qname: str, kind: str, facts: FactMap) -> tuple[ChainFrame, ...]:
+        """Source→sink frames: each hop's call-site line, then the seed."""
+        frames: list[ChainFrame] = []
+        cur = qname
+        fact = facts[cur][kind]
+        while fact.via is not None:
+            frames.append((cur, self.index.functions[cur].path, fact.lineno or 0))
+            cur = fact.via
+            fact = facts[cur][kind]
+        frames.append((cur, fact.seed.path, fact.seed.lineno))
+        return tuple(frames)
+
+
+def build_project(files: list[str | Path], config: LintConfig) -> FlowProject:
+    """Index the files once and wire up the call graph (parent process)."""
+    index = build_index([Path(f) for f in files], config)
+    return FlowProject(index, build_callgraph(index, config), config)

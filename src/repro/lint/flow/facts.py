@@ -1,0 +1,199 @@
+"""The fact lattice: what taints a function, and where it enters.
+
+The domain is a flat product lattice: per function, per *kind* of
+nondeterminism, either ⊥ (clean) or a :class:`Seed`-rooted fact.  Kinds:
+
+* :data:`KIND_TIME` — wall-clock reads (the DET001 set);
+* :data:`KIND_RNG` — process-global RNG calls (the DET001 set);
+* :data:`KIND_ENTROPY` — OS entropy: ``os.urandom``, ``uuid.uuid1/4``,
+  ``secrets.*`` (no per-file rule covers these, so FLOW001 reports them
+  even when the seed sits directly in an entry point);
+* :data:`KIND_ORDER` — unordered iteration feeding an order-sensitive
+  sink (the DET002 detector, including strict ``.keys()`` mode);
+* :data:`KIND_OBS` — an obs recording call not dominated by an
+  ``OBS.enabled`` guard *inside its own function* (FLOW004's seed; the
+  per-line ``ignore[OBS001]`` helpers are deliberately still seeds —
+  the whole point of guard propagation is to verify their call sites).
+
+Seeding reuses the per-file detectors verbatim, and honours the same
+policy knobs: a seed in a file that is config-exempt from the matching
+per-file rule never taints (the runner's wall-timing is its job), and a
+seed whose line carries the matching per-file suppression is treated as
+justified (no taint).  A seed whose line carries a ``FLOW00x``
+suppression instead marks the resulting finding suppressed-at-sink.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.lint.astutil import is_suppressed, raw_dotted, resolve_dotted
+from repro.lint.config import LintConfig
+from repro.lint.flow.index import FunctionInfo, ProjectIndex
+from repro.lint.rules.determinism import (
+    global_rng_violation,
+    order_sensitive_sources,
+    unordered_reason,
+    wall_clock_violation,
+)
+from repro.lint.rules.obs import recording_call, site_guarded
+
+KIND_TIME = "wall-clock"
+KIND_RNG = "global-rng"
+KIND_ENTROPY = "os-entropy"
+KIND_ORDER = "unordered-iteration"
+KIND_OBS = "unguarded-obs"
+
+#: FLOW001 kinds, in reporting order.
+TAINT_KINDS = (KIND_TIME, KIND_RNG, KIND_ENTROPY, KIND_ORDER)
+
+#: OS entropy sources: fresh randomness with no seed anywhere.
+_ENTROPY_CALLS = frozenset(
+    {
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbelow",
+        "secrets.randbits",
+        "secrets.choice",
+    }
+)
+
+#: Which per-file rule owns each kind (for exemptions + justified
+#: suppressions at the sink line).
+_PER_FILE_CODE = {
+    KIND_TIME: "DET001",
+    KIND_RNG: "DET001",
+    KIND_ENTROPY: "DET001",  # exemption policy only; DET001 never fires on these
+    KIND_ORDER: "DET002",
+    KIND_OBS: "OBS001",
+}
+
+
+@dataclass(frozen=True)
+class Seed:
+    """One nondeterminism entry point inside one function body."""
+
+    kind: str
+    detail: str  #: human-readable cause, e.g. "wall-clock call `time.time`"
+    path: str
+    lineno: int
+    col: int
+    #: The sink line carries a FLOW suppression — the finding survives
+    #: but is marked suppressed (visible with ``--show-suppressed``).
+    sink_suppressed: bool = False
+
+
+def _seed(
+    kind: str,
+    detail: str,
+    node: ast.AST,
+    fn: FunctionInfo,
+    mod_suppressions: dict[int, set[str]],
+    flow_code: str,
+) -> Seed | None:
+    """Build a seed, applying sink-side policy; ``None`` = justified."""
+    if is_suppressed(mod_suppressions, node, _PER_FILE_CODE[kind]):
+        return None  # per-file suppression: locally justified, no taint
+    return Seed(
+        kind=kind,
+        detail=detail,
+        path=fn.path,
+        lineno=node.lineno,
+        col=node.col_offset + 1,
+        sink_suppressed=is_suppressed(mod_suppressions, node, flow_code),
+    )
+
+
+def taint_seeds(
+    fn: FunctionInfo, index: ProjectIndex, config: LintConfig
+) -> list[Seed]:
+    """FLOW001 seeds in one function body (nested defs included)."""
+    mod = index.modules[fn.module]
+    if mod.skip_file:
+        return []
+    det001_exempt = config.is_exempt("DET001", fn.path)
+    det002_exempt = config.is_exempt("DET002", fn.path)
+    seeds: list[Seed] = []
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Call) and not det001_exempt:
+            dotted = resolve_dotted(raw_dotted(node.func), mod.imports)
+            detail = wall_clock_violation(dotted)
+            if detail is not None:
+                s = _seed(KIND_TIME, f"wall-clock call `{dotted}`", node, fn,
+                          mod.suppressions, "FLOW001")
+                if s:
+                    seeds.append(s)
+                continue
+            detail = global_rng_violation(dotted)
+            if detail is not None:
+                s = _seed(KIND_RNG, f"global-RNG call `{dotted}`", node, fn,
+                          mod.suppressions, "FLOW001")
+                if s:
+                    seeds.append(s)
+                continue
+            if dotted in _ENTROPY_CALLS:
+                s = _seed(KIND_ENTROPY, f"OS-entropy call `{dotted}`", node, fn,
+                          mod.suppressions, "FLOW001")
+                if s:
+                    seeds.append(s)
+                continue
+        if not det002_exempt:
+            for source in order_sensitive_sources(node):
+                reason = unordered_reason(
+                    source,
+                    mod.imports,
+                    flag_dict_keys=config.det002_flag_dict_keys,
+                )
+                if reason is not None:
+                    s = _seed(
+                        KIND_ORDER,
+                        f"order-sensitive iteration over {reason}",
+                        source,
+                        fn,
+                        mod.suppressions,
+                        "FLOW001",
+                    )
+                    if s:
+                        seeds.append(s)
+    seeds.sort(key=lambda s: (s.lineno, s.col, s.kind))
+    return seeds
+
+
+def obs_seeds(
+    fn: FunctionInfo, index: ProjectIndex, config: LintConfig
+) -> list[Seed]:
+    """FLOW004 seeds: recording calls with no local enabled-guard.
+
+    ``ignore[OBS001]`` lines still seed — those are exactly the guarded
+    helpers whose call chains FLOW004 exists to verify.  The obs package
+    itself is policy-exempt (registry internals sit below the guard).
+    """
+    mod = index.modules[fn.module]
+    if mod.skip_file or config.is_exempt("OBS001", fn.path):
+        return []
+    seeds: list[Seed] = []
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        if not recording_call(node, config.obs_registry_names):
+            continue
+        if site_guarded(node, mod.enabled_aliases, config.obs_registry_names):
+            continue
+        seeds.append(
+            Seed(
+                kind=KIND_OBS,
+                detail="obs recording call",
+                path=fn.path,
+                lineno=node.lineno,
+                col=node.col_offset + 1,
+                sink_suppressed=is_suppressed(mod.suppressions, node, "FLOW004"),
+            )
+        )
+    seeds.sort(key=lambda s: (s.lineno, s.col))
+    return seeds

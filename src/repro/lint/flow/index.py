@@ -1,0 +1,284 @@
+"""The project indexer: one parse of every file into a symbol table.
+
+Everything the flow layer knows about the program comes from here:
+module names (derived from the ``__init__.py`` package chain, so the
+same indexer works on ``src/repro`` and on test fixture packages),
+classes with their method layouts and base-class names, top-level and
+method functions, per-module import-alias maps (absolute and relative
+imports), ``OBS.enabled`` alias names, and suppression-comment lines.
+
+Pure syntax, like the rest of the linter: nothing is imported or
+executed.  Files that do not parse are skipped here — the per-file
+engine already turns them into blocking ``LINT000`` findings.
+
+Parent links (:data:`~repro.lint.astutil.PARENT_ATTR`) are set on every
+node during the index walk, so downstream guard/suppression analysis
+can walk ancestor chains exactly like per-file rules do.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.astutil import PARENT_ATTR, raw_dotted, scan_suppressions
+from repro.lint.config import LintConfig
+
+
+@dataclass
+class FunctionInfo:
+    """One indexed function or method (nested defs stay inside their owner)."""
+
+    qname: str  #: e.g. ``repro.storage.hdd.SimulatedHDD.read_batch``
+    module: str  #: e.g. ``repro.storage.hdd``
+    name: str  #: e.g. ``read_batch``
+    owner: str | None  #: owning class qname, ``None`` for module level
+    path: str
+    lineno: int
+    col: int
+    node: ast.FunctionDef | ast.AsyncFunctionDef = field(repr=False)
+    is_kernel: bool = False
+
+    @property
+    def is_public(self) -> bool:
+        """Public API: not underscore-private; ``__init__`` counts."""
+        return not self.name.startswith("_") or self.name == "__init__"
+
+
+@dataclass
+class ClassInfo:
+    """One indexed class: layout plus raw base-class spellings."""
+
+    qname: str
+    module: str
+    name: str
+    path: str
+    lineno: int
+    bases: tuple[str, ...]  #: raw dotted base spellings, pre-resolution
+    methods: dict[str, str] = field(default_factory=dict)  #: name -> fn qname
+
+
+@dataclass
+class ModuleInfo:
+    """One indexed module and its per-file facts."""
+
+    name: str
+    path: str
+    tree: ast.Module = field(repr=False)
+    imports: dict[str, str] = field(default_factory=dict)
+    enabled_aliases: set[str] = field(default_factory=set)
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    skip_file: bool = False
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name from the ``__init__.py`` package chain.
+
+    Walks up from the file while ``__init__.py`` exists, so
+    ``src/repro/storage/hdd.py`` -> ``repro.storage.hdd`` and a fixture
+    tree ``.../fixtures/flowpkg/sinks.py`` -> ``flowpkg.sinks`` without
+    either needing to be importable.
+    """
+    parts: list[str] = [] if path.stem == "__init__" else [path.stem]
+    parent = path.resolve().parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    return ".".join(reversed(parts)) or path.stem
+
+
+class ProjectIndex:
+    """Symbol table over every indexed file; all lookups are by qname."""
+
+    def __init__(self, config: LintConfig) -> None:
+        self.config = config
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_file(self, path: Path) -> None:
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except (SyntaxError, ValueError):
+            return  # LINT000 is the per-file engine's job
+        name = module_name_for(path)
+        suppressions, skip_file = scan_suppressions(source)
+        mod = ModuleInfo(
+            name=name,
+            path=str(path),
+            tree=tree,
+            suppressions=suppressions,
+            skip_file=skip_file,
+        )
+        self.modules[name] = mod
+        self._link_parents(tree)
+        self._scan_imports(mod)
+        self._scan_symbols(mod)
+
+    @staticmethod
+    def _link_parents(tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                setattr(child, PARENT_ATTR, node)
+
+    def _scan_imports(self, mod: ModuleInfo) -> None:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    mod.imports[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    # Relative import: resolve against this module's package.
+                    pkg_parts = mod.name.split(".")[: -node.level]
+                    base = ".".join(pkg_parts + ([node.module] if node.module else []))
+                for alias in node.names:
+                    origin = f"{base}.{alias.name}" if base else alias.name
+                    mod.imports[alias.asname or alias.name] = origin
+            elif isinstance(node, ast.Assign) and self._is_enabled_read(node.value):
+                for t in node.targets:
+                    if isinstance(t, ast.Name):
+                        mod.enabled_aliases.add(t.id)
+
+    def _is_enabled_read(self, value: ast.AST) -> bool:
+        if not (isinstance(value, ast.Attribute) and value.attr == "enabled"):
+            return False
+        owner = raw_dotted(value.value)
+        return owner is not None and (
+            owner in self.config.obs_registry_names
+            or owner.split(".")[-1] in self.config.obs_registry_names
+        )
+
+    def _scan_symbols(self, mod: ModuleInfo) -> None:
+        for node in mod.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(mod, node, owner=None)
+            elif isinstance(node, ast.ClassDef):
+                self._add_class(mod, node)
+
+    def _add_class(self, mod: ModuleInfo, node: ast.ClassDef) -> None:
+        qname = f"{mod.name}.{node.name}"
+        bases = tuple(
+            dotted for dotted in (raw_dotted(b) for b in node.bases) if dotted
+        )
+        info = ClassInfo(
+            qname=qname,
+            module=mod.name,
+            name=node.name,
+            path=mod.path,
+            lineno=node.lineno,
+            bases=bases,
+        )
+        self.classes[qname] = info
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._add_function(mod, item, owner=qname)
+                info.methods[item.name] = fn.qname
+
+    def _add_function(
+        self,
+        mod: ModuleInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        owner: str | None,
+    ) -> FunctionInfo:
+        qname = f"{owner or mod.name}.{node.name}"
+        info = FunctionInfo(
+            qname=qname,
+            module=mod.name,
+            name=node.name,
+            owner=owner,
+            path=mod.path,
+            lineno=node.lineno,
+            col=node.col_offset + 1,
+            node=node,
+            is_kernel=self._is_kernel(mod, node),
+        )
+        self.functions[qname] = info
+        return info
+
+    def _is_kernel(
+        self, mod: ModuleInfo, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> bool:
+        for deco in fn.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            dotted = raw_dotted(target)
+            if dotted is None:
+                continue
+            head = dotted.split(".")[0]
+            resolved = mod.imports.get(head, head)
+            full = ".".join([resolved] + dotted.split(".")[1:])
+            if (
+                dotted in self.config.kernel_decorators
+                or full in self.config.kernel_decorators
+            ):
+                return True
+        return False
+
+    # -- lookups -----------------------------------------------------------
+
+    def resolve(self, module: str, dotted: str | None) -> str | None:
+        """Project-qualified name for a dotted spelling seen in ``module``.
+
+        The first segment is rewritten through the module's import map;
+        failing that, a module-local symbol of the same name wins; an
+        unknown head resolves through itself (external names come back
+        as their absolute dotted form, e.g. ``numpy.random.default_rng``).
+        """
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        origin = None
+        mod = self.modules.get(module)
+        if mod is not None:
+            origin = mod.imports.get(head)
+        if origin is None:
+            local = f"{module}.{head}"
+            if local in self.functions or local in self.classes:
+                origin = local
+            else:
+                origin = head
+        return f"{origin}.{rest}" if rest else origin
+
+    def mro(self, class_qname: str) -> list[ClassInfo]:
+        """Project-resolvable linearisation: the class, then bases DFS.
+
+        Not C3 — a deterministic depth-first walk over the bases we can
+        resolve inside the project, which matches how this codebase uses
+        single inheritance.  External bases contribute nothing.
+        """
+        out: list[ClassInfo] = []
+        seen: set[str] = set()
+
+        def visit(qname: str) -> None:
+            info = self.classes.get(qname)
+            if info is None or qname in seen:
+                return
+            seen.add(qname)
+            out.append(info)
+            for base in info.bases:
+                resolved = self.resolve(info.module, base)
+                if resolved is not None:
+                    visit(resolved)
+
+        visit(class_qname)
+        return out
+
+    def resolve_method(self, class_qname: str, name: str) -> FunctionInfo | None:
+        """The function a ``self.<name>`` call lands on, through the MRO."""
+        for cls in self.mro(class_qname):
+            fn_qname = cls.methods.get(name)
+            if fn_qname is not None:
+                return self.functions.get(fn_qname)
+        return None
+
+
+def build_index(files: list[Path], config: LintConfig) -> ProjectIndex:
+    """Index every file (sorted order, so ties resolve deterministically)."""
+    index = ProjectIndex(config)
+    for path in sorted(files):
+        index.add_file(Path(path))
+    return index

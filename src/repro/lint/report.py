@@ -1,0 +1,103 @@
+"""Findings and reports — the data the engine and the flow layer share.
+
+Lives in its own dependency-free module so that both the per-file engine
+and :mod:`repro.lint.flow` (which the rule registry imports while the
+engine module is still initialising) can construct findings without a
+circular import.
+
+Two JSON schemas:
+
+* ``repro.lint/v1`` — rule-only runs; findings carry no call chains.
+* ``repro.lint/v2`` — runs that include the whole-program flow pass;
+  every finding additionally carries a ``chain`` list (possibly empty)
+  of ``{function, path, line}`` frames from source to sink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: v1: per-file rules only (kept for ``--select`` runs without FLOW rules).
+JSON_SCHEMA_V1 = "repro.lint/v1"
+#: v2: rule + flow pass; findings gain the ``chain`` field.
+JSON_SCHEMA_V2 = "repro.lint/v2"
+#: Backwards-compatible alias (rule-only schema, the pre-flow default).
+JSON_SCHEMA_VERSION = JSON_SCHEMA_V1
+
+#: One source→sink call-chain frame: (function qname, path, line).
+ChainFrame = tuple[str, str, int]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``chain`` is empty for per-file rules; flow rules fill it with the
+    source→sink frames: the entry point first (its frame's line is the
+    call site inside it), the sink call last.
+    """
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    chain: tuple[ChainFrame, ...] = ()
+
+    def render(self) -> str:
+        mark = "  (suppressed)" if self.suppressed else ""
+        out = f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}{mark}"
+        if self.chain:
+            hops = " -> ".join(f"{fn} ({path}:{line})" for fn, path, line in self.chain)
+            out += f"\n    chain: {hops}"
+        return out
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    n_files: int = 0
+    #: Which JSON schema this run's output follows (v2 iff flow ran).
+    schema: str = JSON_SCHEMA_V1
+
+    @property
+    def failures(self) -> list[Finding]:
+        """Findings that fail the gate (suppressed ones do not)."""
+        return [f for f in self.findings if not f.suppressed]
+
+    def counts(self) -> dict[str, int]:
+        """Unsuppressed finding count per rule code."""
+        out: dict[str, int] = {}
+        for f in self.failures:
+            out[f.code] = out.get(f.code, 0) + 1
+        return dict(sorted(out.items()))
+
+    def to_json(self) -> dict[str, Any]:
+        """The ``repro.lint/v1`` or ``/v2`` JSON payload (docs/lint.md)."""
+        payload: dict[str, Any] = {
+            "version": self.schema,
+            "n_files": self.n_files,
+            "n_findings": len(self.failures),
+            "counts": self.counts(),
+            "findings": [],
+        }
+        for f in self.findings:
+            entry: dict[str, Any] = {
+                "code": f.code,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "suppressed": f.suppressed,
+            }
+            if self.schema == JSON_SCHEMA_V2:
+                entry["chain"] = [
+                    {"function": fn, "path": path, "line": line}
+                    for fn, path, line in f.chain
+                ]
+            payload["findings"].append(entry)
+        return payload

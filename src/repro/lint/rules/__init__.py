@@ -30,6 +30,10 @@ class Rule:
     code: str = ""
     #: One-line description shown by ``--list-rules`` and docs.
     summary: str = ""
+    #: ``"module"`` rules run per file via ``visit_*`` hooks;
+    #: ``"project"`` rules (repro.lint.flow) run once over the whole
+    #: indexed project via ``run(project)`` and may emit call chains.
+    scope: str = "module"
 
     def __init__(self, config: "LintConfig") -> None:
         self.config = config
@@ -72,6 +76,8 @@ def hook_table(rule: Rule) -> dict[str, list]:
 
 
 # Self-registration: importing the package loads the built-in rule set.
+# Order matters: the flow rules reuse detectors from determinism/obs, so
+# those modules must be fully loaded first.
 from repro.lint.rules import (  # noqa: E402  (registry must exist first)
     determinism,
     errors,
@@ -79,6 +85,7 @@ from repro.lint.rules import (  # noqa: E402  (registry must exist first)
     purity,
     validation,
 )
+from repro.lint.flow import rules as flow  # noqa: E402  (project-scoped rules)
 
 __all__ = [
     "RULE_REGISTRY",
@@ -86,6 +93,7 @@ __all__ = [
     "all_rules",
     "determinism",
     "errors",
+    "flow",
     "hook_table",
     "obs",
     "purity",

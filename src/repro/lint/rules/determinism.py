@@ -5,6 +5,11 @@ generators and *all* time from the simulated device clock; any wall
 clock or process-global RNG makes results differ run to run, which the
 golden tests (and the paper's R² ≈ 1 fits) cannot tolerate.  Order must
 come from data, never from hash order or the filesystem.
+
+The detectors (:func:`wall_clock_violation`, :func:`global_rng_violation`,
+:func:`unordered_reason`, :func:`order_sensitive_sources`) are module
+functions so the whole-program flow layer (FLOW001) can reuse the exact
+same definition of "nondeterministic" when seeding its taint analysis.
 """
 
 from __future__ import annotations
@@ -74,6 +79,103 @@ _FS_LIST_METHODS = frozenset({"iterdir", "glob", "rglob"})
 _ORDER_SENSITIVE_WRAPPERS = frozenset({"list", "tuple", "enumerate", "reversed", "iter"})
 
 
+def wall_clock_violation(dotted: str | None) -> str | None:
+    """DET001 message for a resolved call name reading the wall clock."""
+    if dotted in _WALL_CLOCK:
+        return (
+            f"wall-clock call `{dotted}` — simulation time must come from "
+            "the device clock (host timing is runner/benchmark-only)"
+        )
+    return None
+
+
+def global_rng_violation(dotted: str | None) -> str | None:
+    """DET001 message for a resolved call name using a global RNG."""
+    if dotted is None:
+        return None
+    head, _, tail = dotted.partition(".")
+    if head == "random" and tail and "." not in tail:
+        if tail not in _STDLIB_RANDOM_OK:
+            return (
+                f"global-RNG call `{dotted}` — use a seeded "
+                "`np.random.default_rng(seed)` (or `random.Random(seed)`)"
+            )
+        return None
+    if dotted.startswith("numpy.random."):
+        fn = dotted.rsplit(".", 1)[-1]
+        if fn not in _NP_RANDOM_OK:
+            return (
+                f"module-level numpy RNG call `{dotted}` — draw from a "
+                "seeded `np.random.default_rng(seed)` instance instead"
+            )
+    return None
+
+
+def order_sensitive_sources(node: ast.AST) -> list[ast.AST]:
+    """Iteration sources ``node`` consumes in an order-sensitive way.
+
+    ``for``/comprehension iterators, the argument of a materialising
+    wrapper (``list``/``tuple``/``enumerate``/``reversed``/``iter``),
+    and the argument of a ``.join(...)`` call.
+    """
+    if isinstance(node, ast.For):
+        return [node.iter]
+    if isinstance(node, ast.comprehension):
+        return [node.iter]
+    if isinstance(node, ast.Call):
+        dotted = raw_dotted(node.func)
+        if dotted in _ORDER_SENSITIVE_WRAPPERS and node.args:
+            return [node.args[0]]
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and node.args
+        ):
+            return [node.args[0]]
+    return []
+
+
+def unordered_reason(
+    node: ast.AST, imports: dict[str, str], *, flag_dict_keys: bool = False
+) -> str | None:
+    """Why ``node`` yields elements in nondeterministic order, if so."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set literal/comprehension (hash order)"
+    if isinstance(node, ast.Call):
+        dotted = resolve_dotted(raw_dotted(node.func), imports)
+        if dotted in _UNORDERED_CALLS:
+            return f"`{dotted}(...)` (hash order)"
+        if dotted in _FS_LIST_CALLS:
+            return f"`{dotted}(...)` (filesystem order)"
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr in _SET_METHODS:
+                return f"`.{node.func.attr}(...)` (set method, hash order)"
+            if node.func.attr in _FS_LIST_METHODS and _is_pathlike(
+                node.func.value, imports
+            ):
+                return f"`.{node.func.attr}(...)` (filesystem order)"
+            if flag_dict_keys and node.func.attr == "keys":
+                return "`.keys()` (strict mode)"
+    return None
+
+
+def _is_pathlike(node: ast.AST, imports: dict[str, str]) -> bool:
+    """Whether the receiver is plausibly a ``pathlib.Path``.
+
+    ``.glob``/``.rglob``/``.iterdir`` also exist on other objects;
+    require the receiver to be a ``Path(...)``/``PurePath`` call or
+    a name containing "path"/"dir" to keep false positives near zero.
+    """
+    if isinstance(node, ast.Call):
+        dotted = resolve_dotted(raw_dotted(node.func), imports)
+        return dotted is not None and dotted.rsplit(".", 1)[-1].endswith("Path")
+    dotted = raw_dotted(node)
+    if dotted is None:
+        return False
+    tail = dotted.rsplit(".", 1)[-1].lower()
+    return "path" in tail or "dir" in tail or "root" in tail
+
+
 @register_rule
 class WallClockGlobalRNG(Rule):
     """DET001: no wall-clock or global-RNG calls in simulation code."""
@@ -89,33 +191,9 @@ class WallClockGlobalRNG(Rule):
         dotted = call_name(node, ctx.imports)
         if dotted is None:
             return
-        if dotted in _WALL_CLOCK:
-            ctx.report(
-                self.code,
-                node,
-                f"wall-clock call `{dotted}` — simulation time must come from "
-                "the device clock (host timing is runner/benchmark-only)",
-            )
-            return
-        head, _, tail = dotted.partition(".")
-        if head == "random" and tail and "." not in tail:
-            if tail not in _STDLIB_RANDOM_OK:
-                ctx.report(
-                    self.code,
-                    node,
-                    f"global-RNG call `{dotted}` — use a seeded "
-                    "`np.random.default_rng(seed)` (or `random.Random(seed)`)",
-                )
-            return
-        if dotted.startswith("numpy.random."):
-            fn = dotted.rsplit(".", 1)[-1]
-            if fn not in _NP_RANDOM_OK:
-                ctx.report(
-                    self.code,
-                    node,
-                    f"module-level numpy RNG call `{dotted}` — draw from a "
-                    "seeded `np.random.default_rng(seed)` instance instead",
-                )
+        message = wall_clock_violation(dotted) or global_rng_violation(dotted)
+        if message is not None:
+            ctx.report(self.code, node, message)
 
 
 @register_rule
@@ -130,70 +208,26 @@ class UnorderedIteration(Rule):
     )
 
     def visit_For(self, node: ast.For, ctx: ModuleContext) -> None:
-        self._check_iter(node.iter, ctx)
+        self._check_sources(node, ctx)
 
     def visit_comprehension(self, node: ast.comprehension, ctx: ModuleContext) -> None:
-        self._check_iter(node.iter, ctx)
+        self._check_sources(node, ctx)
 
     def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
         """Order-sensitive wrappers: ``list(set(...))`` and friends."""
-        dotted = raw_dotted(node.func)
-        if dotted in _ORDER_SENSITIVE_WRAPPERS and node.args:
-            self._check_iter(node.args[0], ctx)
-        elif (
-            isinstance(node.func, ast.Attribute)
-            and node.func.attr == "join"
-            and node.args
-        ):
-            self._check_iter(node.args[0], ctx)
+        self._check_sources(node, ctx)
 
-    def _check_iter(self, source: ast.AST, ctx: ModuleContext) -> None:
-        reason = self._unordered_reason(source, ctx)
-        if reason is not None:
-            ctx.report(
-                self.code,
+    def _check_sources(self, node: ast.AST, ctx: ModuleContext) -> None:
+        for source in order_sensitive_sources(node):
+            reason = unordered_reason(
                 source,
-                f"iteration over {reason} feeds an order-sensitive result — "
-                "wrap the source in `sorted(...)` to pin the order",
+                ctx.imports,
+                flag_dict_keys=self.config.det002_flag_dict_keys,
             )
-
-    def _unordered_reason(self, node: ast.AST, ctx: ModuleContext) -> str | None:
-        """Why ``node`` yields elements in nondeterministic order, if so."""
-        if isinstance(node, (ast.Set, ast.SetComp)):
-            return "a set literal/comprehension (hash order)"
-        if isinstance(node, ast.Call):
-            dotted = resolve_dotted(raw_dotted(node.func), ctx.imports)
-            if dotted in _UNORDERED_CALLS:
-                return f"`{dotted}(...)` (hash order)"
-            if dotted in _FS_LIST_CALLS:
-                return f"`{dotted}(...)` (filesystem order)"
-            if isinstance(node.func, ast.Attribute):
-                if node.func.attr in _SET_METHODS:
-                    return f"`.{node.func.attr}(...)` (set method, hash order)"
-                if node.func.attr in _FS_LIST_METHODS and self._is_pathlike(
-                    node.func.value, ctx
-                ):
-                    return f"`.{node.func.attr}(...)` (filesystem order)"
-                if (
-                    self.config.det002_flag_dict_keys
-                    and node.func.attr == "keys"
-                ):
-                    return "`.keys()` (strict mode)"
-        return None
-
-    @staticmethod
-    def _is_pathlike(node: ast.AST, ctx: ModuleContext) -> bool:
-        """Whether the receiver is plausibly a ``pathlib.Path``.
-
-        ``.glob``/``.rglob``/``.iterdir`` also exist on other objects;
-        require the receiver to be a ``Path(...)``/``PurePath`` call or
-        a name containing "path"/"dir" to keep false positives near zero.
-        """
-        if isinstance(node, ast.Call):
-            dotted = resolve_dotted(raw_dotted(node.func), ctx.imports)
-            return dotted is not None and dotted.rsplit(".", 1)[-1].endswith("Path")
-        dotted = raw_dotted(node)
-        if dotted is None:
-            return False
-        tail = dotted.rsplit(".", 1)[-1].lower()
-        return "path" in tail or "dir" in tail or "root" in tail
+            if reason is not None:
+                ctx.report(
+                    self.code,
+                    source,
+                    f"iteration over {reason} feeds an order-sensitive result — "
+                    "wrap the source in `sorted(...)` to pin the order",
+                )

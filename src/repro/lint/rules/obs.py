@@ -20,6 +20,13 @@ Recognised guards:
 Helpers that are *only called* under a guard (e.g. ``_obs_io``) are
 invisible to this per-site analysis — mark the call inside them with
 ``# repro-lint: ignore[OBS001]`` and a comment naming the guard site.
+The whole-program layer (FLOW004) then verifies the other half of that
+contract: every transitive call path into such a helper is guarded.
+
+The guard detectors take explicit ``enabled_aliases``/``registry_names``
+parameters so the flow layer can apply the exact same dominance logic
+to arbitrary call sites; the ``ModuleContext``-based wrappers are what
+the per-file rule uses.
 """
 
 from __future__ import annotations
@@ -27,7 +34,7 @@ from __future__ import annotations
 import ast
 
 from repro.lint.astutil import ancestors, enclosing_function, node_in_field, raw_dotted
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:
     from repro.lint.engine import ModuleContext
@@ -43,55 +50,62 @@ _RECORDING_METHODS = frozenset(
 _TRACER_METHODS = frozenset({"record", "record_span", "span"})
 
 
-def _registry_owner(node: ast.AST, ctx: ModuleContext) -> bool:
+def registry_owner(node: ast.AST, registry_names: Iterable[str]) -> bool:
     """Whether ``node`` denotes the process-wide obs registry."""
     dotted = raw_dotted(node)
     if dotted is None:
         return False
-    return (
-        dotted in ctx.config.obs_registry_names
-        or dotted.split(".")[-1] in ctx.config.obs_registry_names
-    )
+    names = tuple(registry_names)
+    return dotted in names or dotted.split(".")[-1] in names
 
 
-def is_recording_call(node: ast.Call, ctx: ModuleContext) -> bool:
-    """Whether this call records into the obs registry or its tracer.
-
-    Shared with ERR001, which accepts an obs counter as a legitimate way
-    for an ``except`` handler to avoid swallowing silently.
-    """
+def recording_call(node: ast.Call, registry_names: Iterable[str]) -> bool:
+    """Whether this call records into the obs registry or its tracer."""
     func = node.func
     if not isinstance(func, ast.Attribute):
         return False
-    if func.attr in _RECORDING_METHODS and _registry_owner(func.value, ctx):
+    if func.attr in _RECORDING_METHODS and registry_owner(func.value, registry_names):
         return True
     if (
         func.attr in _TRACER_METHODS
         and isinstance(func.value, ast.Attribute)
         and func.value.attr == "tracer"
-        and _registry_owner(func.value.value, ctx)
+        and registry_owner(func.value.value, registry_names)
     ):
         return True
     return False
 
 
-def _test_guards(test: ast.AST, ctx: ModuleContext) -> bool:
+def is_recording_call(node: ast.Call, ctx: ModuleContext) -> bool:
+    """ModuleContext wrapper around :func:`recording_call`.
+
+    Shared with ERR001, which accepts an obs counter as a legitimate way
+    for an ``except`` handler to avoid swallowing silently.
+    """
+    return recording_call(node, ctx.config.obs_registry_names)
+
+
+def test_guards(
+    test: ast.AST, enabled_aliases: set[str], registry_names: Iterable[str]
+) -> bool:
     """Whether an ``if`` test guarantees obs is enabled when true."""
     if isinstance(test, ast.Attribute) and test.attr == "enabled":
-        return _registry_owner(test.value, ctx)
+        return registry_owner(test.value, registry_names)
     if isinstance(test, ast.Name):
-        return test.id in ctx.enabled_aliases
+        return test.id in enabled_aliases
     if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
-        return any(_test_guards(v, ctx) for v in test.values)
+        return any(test_guards(v, enabled_aliases, registry_names) for v in test.values)
     return False
 
 
-def _test_rejects(test: ast.AST, ctx: ModuleContext) -> bool:
+def test_rejects(
+    test: ast.AST, enabled_aliases: set[str], registry_names: Iterable[str]
+) -> bool:
     """Whether an ``if`` test is ``not <enabled>`` (early-return guard)."""
     return (
         isinstance(test, ast.UnaryOp)
         and isinstance(test.op, ast.Not)
-        and _test_guards(test.operand, ctx)
+        and test_guards(test.operand, enabled_aliases, registry_names)
     )
 
 
@@ -99,6 +113,47 @@ def _terminates(stmts: list[ast.stmt]) -> bool:
     return bool(stmts) and isinstance(
         stmts[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
     )
+
+
+def guarded_by_ancestor(
+    node: ast.AST, enabled_aliases: set[str], registry_names: Iterable[str]
+) -> bool:
+    """Whether an enclosing ``if <enabled>:`` dominates ``node``."""
+    for anc, child in ancestors(node):
+        if isinstance(anc, ast.If) and node_in_field(anc, child, "body"):
+            if test_guards(anc.test, enabled_aliases, registry_names):
+                return True
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            break  # guards outside the enclosing function don't count
+    return False
+
+
+def guarded_by_early_return(
+    node: ast.AST, enabled_aliases: set[str], registry_names: Iterable[str]
+) -> bool:
+    """Whether ``if not <enabled>: return`` earlier in the function guards."""
+    fn = enclosing_function(node)
+    if fn is None:
+        return False
+    lineno = getattr(node, "lineno", 0)
+    for stmt in ast.walk(fn):
+        if (
+            isinstance(stmt, ast.If)
+            and stmt.lineno < lineno
+            and test_rejects(stmt.test, enabled_aliases, registry_names)
+            and _terminates(stmt.body)
+        ):
+            return True
+    return False
+
+
+def site_guarded(
+    node: ast.AST, enabled_aliases: set[str], registry_names: Iterable[str]
+) -> bool:
+    """Whether an enabled-guard dominates ``node`` (either guard form)."""
+    return guarded_by_ancestor(
+        node, enabled_aliases, registry_names
+    ) or guarded_by_early_return(node, enabled_aliases, registry_names)
 
 
 @register_rule
@@ -115,9 +170,9 @@ class UnguardedObsCall(Rule):
     def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
         if not is_recording_call(node, ctx):
             return
-        if self._guarded_by_ancestor(node, ctx):
-            return
-        if self._guarded_by_early_return(node, ctx):
+        if site_guarded(
+            node, ctx.enabled_aliases, ctx.config.obs_registry_names
+        ):
             return
         ctx.report(
             self.code,
@@ -126,29 +181,3 @@ class UnguardedObsCall(Rule):
             "(guarded helpers: suppress with `# repro-lint: ignore[OBS001]` "
             "and name the guard site)",
         )
-
-    @staticmethod
-    def _guarded_by_ancestor(node: ast.Call, ctx: ModuleContext) -> bool:
-        for anc, child in ancestors(node):
-            if isinstance(anc, ast.If) and node_in_field(anc, child, "body"):
-                if _test_guards(anc.test, ctx):
-                    return True
-            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                break  # guards outside the enclosing function don't count
-        return False
-
-    @staticmethod
-    def _guarded_by_early_return(node: ast.Call, ctx: ModuleContext) -> bool:
-        fn = enclosing_function(node)
-        if fn is None:
-            return False
-        lineno = getattr(node, "lineno", 0)
-        for stmt in ast.walk(fn):
-            if (
-                isinstance(stmt, ast.If)
-                and stmt.lineno < lineno
-                and _test_rejects(stmt.test, ctx)
-                and _terminates(stmt.body)
-            ):
-                return True
-        return False

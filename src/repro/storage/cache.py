@@ -507,6 +507,15 @@ class BufferCache:
         self.io_seconds += spent
         return spent
 
+    def write_back(self, node_id: Hashable) -> float:
+        """Write back one node's dirty contents; returns device seconds.
+
+        The scalar twin of :meth:`write_many`: a clean or non-resident
+        entry costs nothing, and ``write_many(ids)`` is an IO-schedule
+        optimisation of ``sum(write_back(i) for i in ids)``.
+        """
+        return self.write_many([node_id])
+
     def flush(self) -> float:
         """Write back every dirty resident node; returns device seconds.
 

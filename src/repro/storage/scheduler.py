@@ -128,7 +128,7 @@ class ReadAheadScheduler:
             taken = {blk for blocks in fetched.values() for blk in blocks}
             taken.update(blk for _, blk in self._waiting)
             next_block = {client: blocks[-1] + 1 for client, blocks in fetched.items()}
-            order = list(fetched.keys())
+            order = list(fetched)
             i = 0
             stalled = 0
             while spare > 0 and stalled < len(order):

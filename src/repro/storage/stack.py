@@ -147,6 +147,14 @@ class StorageStack:
         """
         return self.cache.write_many(node_ids)
 
+    def write_back(self, node_id: Hashable) -> float:
+        """Write back one node's dirty contents; returns seconds spent.
+
+        The scalar twin of :meth:`write_many`; clean or evicted nodes
+        cost nothing.
+        """
+        return self.cache.write_back(node_id)
+
     def flush(self) -> float:
         """Write back all dirty nodes; returns simulated seconds spent."""
         return self.cache.flush()

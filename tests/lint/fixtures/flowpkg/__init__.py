@@ -1,0 +1,6 @@
+"""Fixture package for the whole-program flow analysis tests.
+
+Never imported at runtime — the linter parses it.  Each module is one
+known scenario; tests/lint/test_flow.py pins the exact finding set and
+the call-graph snapshot, so any change here must update both.
+"""

@@ -1,0 +1,47 @@
+"""FLOW003 scenarios: batch/serial API symmetry."""
+
+
+class NoTwin:
+    """Defines the batch op only — no scalar ``read`` anywhere."""
+
+    def read_batch(self, offsets):
+        return [0.0 for _ in offsets]
+
+
+class Asym:
+    """``put_many`` bumps a counter the scalar ``insert`` never touches."""
+
+    def __init__(self) -> None:
+        self.data = {}
+        self.batch_calls = 0
+
+    def insert(self, key, value) -> None:
+        self.data[key] = value
+
+    def put_many(self, pairs) -> None:
+        self.batch_calls += 1
+        for key, value in pairs:
+            self.data[key] = value
+
+
+class Sym:
+    """The compliant shape: the batch op is a loop over the scalar op."""
+
+    def __init__(self) -> None:
+        self.data = {}
+
+    def insert(self, key, value) -> None:
+        self.data[key] = value
+
+    def put_many(self, pairs) -> None:
+        insert = self.insert
+        for key, value in pairs:
+            insert(key, value)
+
+
+class SymChild(Sym):
+    """Overriding the batch op while inheriting the scalar twin is fine."""
+
+    def put_many(self, pairs) -> None:
+        for key, value in pairs:
+            self.insert(key, value)

@@ -1,0 +1,12 @@
+"""A clean entry point: no chain reaches any sink."""
+
+
+def _double(x: int) -> int:
+    return 2 * x
+
+
+def simulate(steps: int) -> int:
+    total = 0
+    for i in range(steps):
+        total += _double(i)
+    return total

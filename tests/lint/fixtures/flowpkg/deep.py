@@ -1,0 +1,18 @@
+"""A 3-hop transitive chain: simulate -> _hop1 -> _hop2 -> sinks.now."""
+
+from flowpkg import sinks
+
+
+def _hop2() -> float:
+    return sinks.now()
+
+
+def _hop1() -> float:
+    return _hop2()
+
+
+def simulate(steps: int) -> float:
+    total = 0.0
+    for _ in range(steps):
+        total += _hop1()
+    return total

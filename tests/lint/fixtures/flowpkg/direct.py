@@ -1,0 +1,11 @@
+"""OS entropy directly in an entry point: FLOW001 at depth 0.
+
+``os.urandom`` has no per-file rule, so the flow pass reports it even
+without a call chain.
+"""
+
+import os
+
+
+def fresh_key(nbytes: int) -> bytes:
+    return os.urandom(nbytes)

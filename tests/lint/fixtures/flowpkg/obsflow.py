@@ -1,0 +1,22 @@
+"""FLOW004 scenarios: guard propagation across the call graph.
+
+``_record`` carries ``ignore[OBS001]`` — the "all callers guard" claim.
+``guarded_op`` honours it; ``unguarded_op`` is the lie FLOW004 catches.
+"""
+
+from repro.obs import OBS
+
+
+def _record(n: int) -> None:
+    OBS.counter("flowpkg.ops").inc(n)  # repro-lint: ignore[OBS001]
+
+
+def guarded_op(n: int) -> int:
+    if OBS.enabled:
+        _record(n)
+    return n * 2
+
+
+def unguarded_op(n: int) -> int:
+    _record(n)
+    return n * 2

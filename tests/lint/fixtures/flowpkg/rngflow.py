@@ -1,0 +1,45 @@
+"""FLOW002 scenarios: private RNG streams escaping (or not)."""
+
+from numpy.random import default_rng
+
+
+def consume(rng) -> float:
+    return float(rng.random())
+
+
+class Leaky:
+    def __init__(self, seed: int) -> None:
+        self._rng = default_rng(seed)
+
+    def leak_return(self):
+        return self._rng
+
+    def leak_pass(self) -> float:
+        return consume(self._rng)
+
+    def leak_store(self, other) -> None:
+        other.rng = self._rng
+
+
+class Contained:
+    def __init__(self, seed: int) -> None:
+        self._rng = default_rng(seed)
+
+    def draw(self) -> int:
+        return int(self._rng.integers(10))
+
+    def shuffle_sum(self, items) -> int:
+        return self._mix(self._rng.permutation(len(items)))
+
+    def _mix(self, order) -> int:
+        return int(sum(order))
+
+    def tick(self) -> None:
+        # Same-component pass: allowed.
+        self._advance(self._rng)
+
+    def _advance(self, rng) -> None:
+        rng.random()
+
+    def derive(self, seed: int) -> "Contained":
+        return Contained(seed)

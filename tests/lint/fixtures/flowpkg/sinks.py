@@ -1,0 +1,12 @@
+"""Nondeterminism sinks the other modules reach through call chains."""
+
+import time
+
+
+def now() -> float:
+    """Depth-0 wall-clock: DET001's job, never FLOW001's."""
+    return time.time()
+
+
+def _stamp() -> float:
+    return time.time()

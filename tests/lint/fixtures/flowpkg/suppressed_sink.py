@@ -1,0 +1,11 @@
+"""Suppression at the sink endpoint: every chain rooted there is quiet."""
+
+import time
+
+
+def _stamp() -> float:
+    return time.time()  # repro-lint: ignore[FLOW001]
+
+
+def simulate(steps: int) -> float:
+    return _stamp() * steps

@@ -1,0 +1,7 @@
+"""Suppression at the source endpoint: the entry's ``def`` line."""
+
+from flowpkg import sinks
+
+
+def simulate(steps: int) -> float:  # repro-lint: ignore[FLOW001]
+    return sinks.now() * steps

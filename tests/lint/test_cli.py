@@ -2,7 +2,7 @@
 
 import json
 
-from repro.lint import JSON_SCHEMA_VERSION, all_rules
+from repro.lint import JSON_SCHEMA_V2, JSON_SCHEMA_VERSION, all_rules
 from repro.lint.cli import main
 
 BAD = "def f(items):\n    return list(set(items))\n"
@@ -36,6 +36,14 @@ class TestExitCodes:
         assert main([str(p), "--select", "DET002"]) == 1
         assert main([str(p), "--ignore", "DET002"]) == 0
 
+    def test_family_prefix_select(self, tmp_path):
+        p = tmp_path / "bad.py"
+        p.write_text(BAD)
+        # "DET" expands to DET001+DET002; "FLOW" to the flow rules.
+        assert main([str(p), "--select", "DET"]) == 1
+        assert main([str(p), "--select", "FLOW"]) == 0
+        assert main([str(p), "--ignore", "DET"]) == 0
+
     def test_jobs_flag(self, tmp_path):
         for i in range(4):
             (tmp_path / f"m{i}.py").write_text(CLEAN)
@@ -44,11 +52,13 @@ class TestExitCodes:
 
 class TestJSONOutput:
     def test_schema(self, tmp_path, capsys):
+        # A default run includes the flow pass, so the payload is v2 and
+        # every finding carries a (possibly empty) chain.
         p = tmp_path / "bad.py"
         p.write_text(BAD)
         assert main([str(p), "--format", "json"]) == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["version"] == JSON_SCHEMA_V2
         assert payload["n_files"] == 1
         assert payload["n_findings"] == 1
         assert payload["counts"] == {"DET002": 1}
@@ -60,10 +70,21 @@ class TestJSONOutput:
             "col",
             "message",
             "suppressed",
+            "chain",
         }
         assert finding["code"] == "DET002"
         assert finding["line"] == 2
         assert finding["suppressed"] is False
+        assert finding["chain"] == []
+
+    def test_rule_only_select_keeps_v1_schema(self, tmp_path, capsys):
+        p = tmp_path / "bad.py"
+        p.write_text(BAD)
+        assert main([str(p), "--select", "DET002", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == JSON_SCHEMA_VERSION  # the v1 alias
+        (finding,) = payload["findings"]
+        assert "chain" not in finding
 
     def test_clean_json(self, tmp_path, capsys):
         p = tmp_path / "ok.py"
@@ -89,4 +110,8 @@ class TestListRules:
             "PURE001",
             "ERR001",
             "VAL001",
+            "FLOW001",
+            "FLOW002",
+            "FLOW003",
+            "FLOW004",
         }

@@ -51,6 +51,36 @@ class TestSuppressions:
         assert [f.code for f in out] == ["DET002"]
         assert all(f.suppressed for f in out)
 
+    def test_multiline_statement_suppressed_on_first_line(self):
+        # The violating node sits on line 3, but the statement *starts*
+        # on line 2 — the comment belongs where the statement begins.
+        src = (
+            "def f(items):\n"
+            "    return list(  # repro-lint: ignore[DET002]\n"
+            "        set(items)\n"
+            "    )\n"
+        )
+        assert lint_source(src, path="pkg/m.py") == []
+
+    def test_multiline_suppression_still_reports_the_inner_line(self):
+        src = (
+            "def f(items):\n"
+            "    return list(\n"
+            "        set(items)\n"
+            "    )\n"
+        )
+        out = lint_source(src, path="pkg/m.py")
+        assert [(f.code, f.line) for f in out] == [("DET002", 3)]
+
+    def test_comment_on_inner_line_also_works(self):
+        src = (
+            "def f(items):\n"
+            "    return list(\n"
+            "        set(items)  # repro-lint: ignore[DET002]\n"
+            "    )\n"
+        )
+        assert lint_source(src, path="pkg/m.py") == []
+
 
 class TestSelection:
     def test_select_restricts(self):

@@ -191,17 +191,25 @@ class TestDET002:
         )
         assert out == []
 
-    def test_dict_keys_only_in_strict_mode(self):
+    def test_dict_keys_strict_mode_on_by_default(self):
+        # Repo policy since PR 10: `.keys()` into an order-sensitive sink
+        # is flagged unless the config opts out.
         src = """
         def order(d):
             return list(d.keys())
         """
-        assert run(src, rule="DET002") == []
-        strict = LintConfig(
-            select=frozenset({"DET002"}), det002_flag_dict_keys=True
+        assert codes(run(src, rule="DET002")) == ["DET002"]
+        lax = LintConfig(
+            select=frozenset({"DET002"}), det002_flag_dict_keys=False
         )
-        out = lint_source(textwrap.dedent(src), path="pkg/sim.py", config=strict)
-        assert codes(out) == ["DET002"]
+        out = lint_source(textwrap.dedent(src), path="pkg/sim.py", config=lax)
+        assert out == []
+        # Iterating the dict itself (insertion order) stays fine.
+        direct = """
+        def order(d):
+            return list(d)
+        """
+        assert run(direct, rule="DET002") == []
 
 
 # -- OBS001: enabled-guards around recording calls -------------------------
